@@ -1,0 +1,13 @@
+// Package mvml is a from-scratch Go reproduction of "Multi-version Machine
+// Learning and Rejuvenation for Resilient Perception in Safety-critical
+// Systems" (DSN 2025): an N-version ML architecture with a trusted voter and
+// reactive plus time-triggered proactive rejuvenation, its DSPN reliability
+// models, the fault-injection experiments that parameterise them, and a
+// driving-simulator case study evaluating end-to-end safety.
+//
+// The implementation lives under internal/ (see DESIGN.md for the full
+// inventory and per-experiment index); cmd/ hosts the binaries that
+// regenerate every table and figure of the paper's evaluation, examples/
+// shows the public API in use, and bench_test.go ties each experiment to a
+// testing.B benchmark.
+package mvml

@@ -1,0 +1,3 @@
+module mvml
+
+go 1.22

@@ -1,0 +1,78 @@
+// Package core implements the paper's primary contribution as an executable
+// architecture: a multi-version ML system in which N diverse inference
+// versions run behind a trusted voter, stochastic fault processes drive
+// modules from healthy (H) through compromised (C) to non-functional (N)
+// states, and a rejuvenation mechanism — reactive for crashed modules,
+// time-triggered proactive for the rest — restores them to health by
+// reloading from a safe location.
+//
+// The package is generic over the input and output types, so the same
+// machinery hosts the traffic-sign classifiers (output: class index) and the
+// driving-simulator object detectors (output: bounding-box sets with an
+// IoU-based voter).
+package core
+
+import "fmt"
+
+// Version is one diverse implementation of the inference task — the unit the
+// architecture replicates. Compromise switches the version to its degraded
+// behaviour (e.g. fault-injected weights); Restore reloads the pristine
+// implementation, which is what rejuvenation does.
+type Version[I, O any] interface {
+	// Name identifies the version (e.g. "alexnet-small").
+	Name() string
+	// Infer runs one inference.
+	Infer(in I) (O, error)
+	// Compromise degrades the version, as an attack or fault would.
+	Compromise() error
+	// Restore returns the version to its pristine behaviour.
+	Restore() error
+}
+
+// FuncVersion adapts plain functions to the Version interface; used by tests
+// and by versions whose compromise behaviour is modelled rather than
+// injected.
+type FuncVersion[I, O any] struct {
+	VersionName  string
+	InferFn      func(in I) (O, error)
+	CompromiseFn func() error
+	RestoreFn    func() error
+}
+
+var _ Version[int, int] = (*FuncVersion[int, int])(nil)
+
+// Name implements Version.
+func (v *FuncVersion[I, O]) Name() string { return v.VersionName }
+
+// Infer implements Version.
+func (v *FuncVersion[I, O]) Infer(in I) (O, error) {
+	if v.InferFn == nil {
+		var zero O
+		return zero, fmt.Errorf("core: version %s has no inference function", v.VersionName)
+	}
+	return v.InferFn(in)
+}
+
+// Compromise implements Version.
+func (v *FuncVersion[I, O]) Compromise() error {
+	if v.CompromiseFn == nil {
+		return nil
+	}
+	return v.CompromiseFn()
+}
+
+// Restore implements Version.
+func (v *FuncVersion[I, O]) Restore() error {
+	if v.RestoreFn == nil {
+		return nil
+	}
+	return v.RestoreFn()
+}
+
+// Proposal is one module's contribution to a vote.
+type Proposal[O any] struct {
+	// Module is the proposing module's name.
+	Module string
+	// Value is the proposed output.
+	Value O
+}

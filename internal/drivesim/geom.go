@@ -1,0 +1,143 @@
+// Package drivesim is a deterministic 2-D autonomous-driving simulator
+// standing in for CARLA/OpenCDA in the paper's case study (§VII). It
+// provides four town maps with two routes each (the paper's eight
+// scenarios), a path-following ego vehicle with a bicycle model and PID
+// speed control, scripted NPC traffic, rear-end collision dynamics, frame
+// metrics (collision rate, first collision frame, skip ratio) and a
+// compute-cost account that yields the FPS/CPU/GPU overhead proxies of
+// Table VIII.
+package drivesim
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vec2 is a 2-D point or vector in metres.
+type Vec2 struct {
+	X, Y float64
+}
+
+// Add returns v + w.
+func (v Vec2) Add(w Vec2) Vec2 { return Vec2{v.X + w.X, v.Y + w.Y} }
+
+// Sub returns v - w.
+func (v Vec2) Sub(w Vec2) Vec2 { return Vec2{v.X - w.X, v.Y - w.Y} }
+
+// Scale returns v scaled by s.
+func (v Vec2) Scale(s float64) Vec2 { return Vec2{v.X * s, v.Y * s} }
+
+// Len returns the Euclidean norm.
+func (v Vec2) Len() float64 { return math.Hypot(v.X, v.Y) }
+
+// Dist returns the distance between two points.
+func (v Vec2) Dist(w Vec2) float64 { return v.Sub(w).Len() }
+
+// Dot returns the dot product.
+func (v Vec2) Dot(w Vec2) float64 { return v.X*w.X + v.Y*w.Y }
+
+// Heading returns the angle of v in radians.
+func (v Vec2) Heading() float64 { return math.Atan2(v.Y, v.X) }
+
+// Path is a polyline with arc-length parameterisation; routes and NPC
+// trajectories are paths.
+type Path struct {
+	points []Vec2
+	cum    []float64 // cumulative arc length at each point
+}
+
+// NewPath builds a path from at least two waypoints. Consecutive duplicate
+// points are rejected.
+func NewPath(points []Vec2) (*Path, error) {
+	if len(points) < 2 {
+		return nil, fmt.Errorf("drivesim: path needs at least 2 points, got %d", len(points))
+	}
+	cum := make([]float64, len(points))
+	for i := 1; i < len(points); i++ {
+		seg := points[i].Dist(points[i-1])
+		if seg == 0 {
+			return nil, fmt.Errorf("drivesim: duplicate consecutive waypoint at index %d", i)
+		}
+		cum[i] = cum[i-1] + seg
+	}
+	return &Path{points: append([]Vec2(nil), points...), cum: cum}, nil
+}
+
+// Length returns the total arc length.
+func (p *Path) Length() float64 { return p.cum[len(p.cum)-1] }
+
+// locate returns the segment index and interpolation fraction for arc
+// length s (clamped to the path).
+func (p *Path) locate(s float64) (int, float64) {
+	if s <= 0 {
+		return 0, 0
+	}
+	if s >= p.Length() {
+		return len(p.points) - 2, 1
+	}
+	// Binary search over the cumulative lengths.
+	lo, hi := 0, len(p.cum)-1
+	for lo+1 < hi {
+		mid := (lo + hi) / 2
+		if p.cum[mid] <= s {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	segLen := p.cum[lo+1] - p.cum[lo]
+	return lo, (s - p.cum[lo]) / segLen
+}
+
+// PointAt returns the position at arc length s (clamped).
+func (p *Path) PointAt(s float64) Vec2 {
+	i, frac := p.locate(s)
+	a, b := p.points[i], p.points[i+1]
+	return a.Add(b.Sub(a).Scale(frac))
+}
+
+// HeadingAt returns the tangent heading at arc length s (clamped).
+func (p *Path) HeadingAt(s float64) float64 {
+	i, _ := p.locate(s)
+	return p.points[i+1].Sub(p.points[i]).Heading()
+}
+
+// Points returns a copy of the waypoints.
+func (p *Path) Points() []Vec2 {
+	return append([]Vec2(nil), p.points...)
+}
+
+// NearestArcLength returns the arc length of the point on the path closest
+// to q, used for route re-projection of the ego pose.
+func (p *Path) NearestArcLength(q Vec2) float64 {
+	best := math.Inf(1)
+	bestS := 0.0
+	for i := 0; i < len(p.points)-1; i++ {
+		a, b := p.points[i], p.points[i+1]
+		ab := b.Sub(a)
+		t := q.Sub(a).Dot(ab) / ab.Dot(ab)
+		if t < 0 {
+			t = 0
+		} else if t > 1 {
+			t = 1
+		}
+		proj := a.Add(ab.Scale(t))
+		if d := q.Dist(proj); d < best {
+			best = d
+			bestS = p.cum[i] + ab.Len()*t
+		}
+	}
+	return bestS
+}
+
+// arcPoints appends a circular arc from angle a0 to a1 (radians) around
+// centre c with the given radius, sampled every ~2 m.
+func arcPoints(dst []Vec2, c Vec2, radius, a0, a1 float64) []Vec2 {
+	arcLen := math.Abs(a1-a0) * radius
+	steps := int(arcLen/2) + 2
+	for i := 1; i <= steps; i++ {
+		a := a0 + (a1-a0)*float64(i)/float64(steps)
+		dst = append(dst, Vec2{c.X + radius*math.Cos(a), c.Y + radius*math.Sin(a)})
+	}
+	return dst
+}

@@ -1,0 +1,110 @@
+package drivesim
+
+import (
+	"fmt"
+	"math"
+)
+
+// Town is a named map with pre-defined routes, mirroring the CARLA towns the
+// paper drives in (Town02–Town05, two routes each; Fig. 5).
+type Town struct {
+	Name   string
+	Routes []*Path
+}
+
+// NumRoutes is the number of evaluation routes across all towns (the
+// paper's routes #1–#8).
+const NumRoutes = 8
+
+// mustPath builds a path from literal waypoints; the layouts below are
+// static data, so a failure is a programming error.
+func mustPath(points []Vec2) *Path {
+	p, err := NewPath(points)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Towns returns the four town layouts. Each town has a distinct geometric
+// character — city grid, winding arterial, highway loop, mixed grid — so the
+// eight routes exercise different speed/curvature regimes like the paper's
+// CARLA maps.
+func Towns() []*Town {
+	return []*Town{
+		town02(), town03(), town04(), town05(),
+	}
+}
+
+// town02 is a compact city grid: straight blocks joined by 90° corner arcs.
+func town02() *Town {
+	// Route 1: L-shaped drive through two blocks.
+	r1 := []Vec2{{0, 0}, {60, 0}, {110, 0}, {150, 0}}
+	r1 = arcPoints(r1, Vec2{150, 20}, 20, -math.Pi/2, 0)
+	r1 = append(r1, Vec2{170, 80}, Vec2{170, 150}, Vec2{170, 220})
+
+	// Route 2: U-shaped block circuit.
+	r2 := []Vec2{{0, 0}, {80, 0}, {140, 0}}
+	r2 = arcPoints(r2, Vec2{140, 25}, 25, -math.Pi/2, 0)
+	r2 = append(r2, Vec2{165, 70}, Vec2{165, 110})
+	r2 = arcPoints(r2, Vec2{140, 110}, 25, 0, math.Pi/2)
+	r2 = append(r2, Vec2{80, 135}, Vec2{0, 135}, Vec2{-60, 135})
+
+	return &Town{Name: "Town02", Routes: []*Path{mustPath(r1), mustPath(r2)}}
+}
+
+// town03 is a winding arterial: long S-curves.
+func town03() *Town {
+	s1 := make([]Vec2, 0, 128)
+	for i := 0; i <= 120; i++ {
+		x := float64(i) * 3
+		s1 = append(s1, Vec2{x, 35 * math.Sin(x/55)})
+	}
+	s2 := make([]Vec2, 0, 128)
+	for i := 0; i <= 110; i++ {
+		x := float64(i) * 3
+		s2 = append(s2, Vec2{x, 25*math.Cos(x/40) - 25})
+	}
+	return &Town{Name: "Town03", Routes: []*Path{mustPath(s1), mustPath(s2)}}
+}
+
+// town04 is a highway loop: long straights with sweeping curves.
+func town04() *Town {
+	r1 := []Vec2{{0, 0}, {150, 0}, {280, 0}}
+	r1 = arcPoints(r1, Vec2{280, 60}, 60, -math.Pi/2, 0)
+	r1 = append(r1, Vec2{340, 180}, Vec2{340, 320})
+
+	r2 := []Vec2{{0, 0}, {120, 0}}
+	r2 = arcPoints(r2, Vec2{120, 80}, 80, -math.Pi/2, 0)
+	r2 = append(r2, Vec2{200, 200})
+	r2 = arcPoints(r2, Vec2{120, 200}, 80, 0, math.Pi/2)
+	r2 = append(r2, Vec2{0, 280}, Vec2{-140, 280})
+
+	return &Town{Name: "Town04", Routes: []*Path{mustPath(r1), mustPath(r2)}}
+}
+
+// town05 is a mixed grid with a diagonal connector.
+func town05() *Town {
+	r1 := []Vec2{{0, 0}, {70, 0}, {120, 0}}
+	r1 = arcPoints(r1, Vec2{120, 15}, 15, -math.Pi/2, math.Pi/4)
+	r1 = append(r1, Vec2{170, 75}, Vec2{220, 130}, Vec2{270, 185})
+
+	r2 := []Vec2{{0, 0}, {90, 0}}
+	r2 = arcPoints(r2, Vec2{90, 30}, 30, -math.Pi/2, 0)
+	r2 = append(r2, Vec2{120, 100}, Vec2{120, 160})
+	r2 = arcPoints(r2, Vec2{90, 160}, 30, 0, math.Pi/2)
+	r2 = append(r2, Vec2{20, 190}, Vec2{-60, 190}, Vec2{-120, 190})
+
+	return &Town{Name: "Town05", Routes: []*Path{mustPath(r1), mustPath(r2)}}
+}
+
+// Route returns the 1-based route number used in the paper's Table VI
+// (routes #1–#8: two per town in town order) along with its town name.
+func Route(number int) (*Path, string, error) {
+	if number < 1 || number > NumRoutes {
+		return nil, "", fmt.Errorf("drivesim: route %d outside 1..%d", number, NumRoutes)
+	}
+	towns := Towns()
+	town := towns[(number-1)/2]
+	return town.Routes[(number-1)%2], town.Name, nil
+}

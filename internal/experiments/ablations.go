@@ -1,0 +1,255 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"mvml/internal/core"
+	"mvml/internal/drivesim"
+	"mvml/internal/perception"
+	"mvml/internal/reliability"
+	"mvml/internal/xrand"
+)
+
+// The ablation studies below probe the design choices DESIGN.md calls out:
+// the voting scheme, the proactive victim-selection policy, the fault-clock
+// semantics, and the Erlang phase count used to cross-validate the DSPN
+// simulator.
+
+// AblationRow is one configuration of a driving-side ablation.
+type AblationRow struct {
+	Name             string
+	CollidedRuns     int
+	Runs             int
+	CollisionRatePct float64
+	SkipRatio        float64
+}
+
+// AblationResult is a set of compared configurations.
+type AblationResult struct {
+	Title string
+	Rows  []AblationRow
+}
+
+// Render formats the ablation as a table.
+func (r *AblationResult) Render() string {
+	t := &Table{
+		Title:   r.Title,
+		Headers: []string{"Configuration", "#Coll", "Coll. rate", "Skip ratio"},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(row.Name,
+			fmt.Sprintf("%d/%d", row.CollidedRuns, row.Runs),
+			fmt.Sprintf("%.2f%%", row.CollisionRatePct),
+			fmt.Sprintf("%.3f", row.SkipRatio))
+	}
+	return t.String()
+}
+
+// driveArm runs every route once per run index with a pipeline factory and
+// aggregates collision statistics.
+func driveArm(cfg CaseStudyConfig, makePipe func(seed uint64, rng *xrand.Rand) (drivesim.PerceptionSystem, error),
+	root *xrand.Rand) (AblationRow, error) {
+	var row AblationRow
+	var collFrames, frames int
+	var skipSum float64
+	for route := 1; route <= drivesim.NumRoutes; route++ {
+		for run := 0; run < cfg.RunsPerRoute; run++ {
+			seed := uint64(route*100 + run)
+			pipe, err := makePipe(seed, root.Split("sys", seed))
+			if err != nil {
+				return AblationRow{}, err
+			}
+			res, err := drivesim.Run(drivesim.Config{RouteNumber: route, CruiseSpeed: cfg.CruiseSpeed},
+				pipe, root.Split("sim", seed))
+			if err != nil {
+				return AblationRow{}, err
+			}
+			row.Runs++
+			frames += res.TotalFrames
+			collFrames += res.CollisionFrames
+			skipSum += res.SkipRatio()
+			if res.Collided {
+				row.CollidedRuns++
+			}
+		}
+	}
+	if frames > 0 {
+		row.CollisionRatePct = 100 * float64(collFrames) / float64(frames)
+	}
+	row.SkipRatio = skipSum / float64(row.Runs)
+	return row, nil
+}
+
+// RunVotingAblation compares the object-level quorum voter (default), the
+// list-level majority voter, and strict unanimity on the with-rejuvenation
+// case study.
+func RunVotingAblation(cfg CaseStudyConfig) (*AblationResult, error) {
+	root := xrand.New(cfg.Seed + 11)
+	voters := []struct {
+		name  string
+		voter core.Voter[[]drivesim.Detection]
+	}{
+		{"object-level quorum (default)", perception.NewDetectionVoter(cfg.Detector.MatchRadius)},
+		{"list-level majority", perception.NewListVoter(cfg.Detector.MatchRadius)},
+		{"unanimous lists", &core.UnanimousVoter[[]drivesim.Detection]{
+			Eq: perception.NewListVoter(cfg.Detector.MatchRadius).Eq,
+		}},
+	}
+	res := &AblationResult{Title: "Ablation: voting scheme (3 versions, with rejuvenation)"}
+	for vi, v := range voters {
+		voter := v.voter
+		row, err := driveArm(cfg, func(seed uint64, rng *xrand.Rand) (drivesim.PerceptionSystem, error) {
+			return perception.NewPipelineWithVoter(3, cfg.Detector, cfg.System, voter, seed, rng)
+		}, root.Split("voter", uint64(vi)))
+		if err != nil {
+			return nil, fmt.Errorf("experiments: voting ablation %s: %w", v.name, err)
+		}
+		row.Name = v.name
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// RunSelectionAblation compares the proactive victim-selection policies:
+// the case study's 2/3 compromised-first rule against the DSPN's
+// count-proportional random choice.
+func RunSelectionAblation(cfg CaseStudyConfig) (*AblationResult, error) {
+	root := xrand.New(cfg.Seed + 13)
+	policies := []struct {
+		name string
+		mut  func(core.Config) core.Config
+	}{
+		{"prefer compromised (2/3)", func(c core.Config) core.Config {
+			c.Selection = core.SelectPreferCompromised
+			c.PreferProb = 2.0 / 3.0
+			return c
+		}},
+		{"uniform by count (w1/w2)", func(c core.Config) core.Config {
+			c.Selection = core.SelectByCount
+			return c
+		}},
+		{"always compromised first", func(c core.Config) core.Config {
+			c.Selection = core.SelectPreferCompromised
+			c.PreferProb = 1
+			return c
+		}},
+	}
+	res := &AblationResult{Title: "Ablation: proactive victim selection (3 versions, with rejuvenation)"}
+	for pi, p := range policies {
+		sysCfg := p.mut(cfg.System)
+		row, err := driveArm(cfg, func(seed uint64, rng *xrand.Rand) (drivesim.PerceptionSystem, error) {
+			return perception.NewPipeline(3, cfg.Detector, sysCfg, seed, rng)
+		}, root.Split("policy", uint64(pi)))
+		if err != nil {
+			return nil, fmt.Errorf("experiments: selection ablation %s: %w", p.name, err)
+		}
+		row.Name = p.name
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// ClockAblationResult compares fault-clock semantics: shared single-server
+// clocks (DSPN-aligned) versus per-module clocks.
+type ClockAblationResult struct {
+	// DegradedFraction is the long-run fraction of time with >= 2
+	// non-healthy modules, per mode.
+	SharedDegraded, PerModuleDegraded float64
+}
+
+// RunClockAblation measures how the two fault-clock semantics change the
+// system's exposure to degraded majorities under the case-study parameters.
+func RunClockAblation(sysCfg core.Config, horizon float64, rng *xrand.Rand) (*ClockAblationResult, error) {
+	degraded := func(perModule bool, r *xrand.Rand) (float64, error) {
+		cfg := sysCfg
+		cfg.PerModuleClocks = perModule
+		versions := make([]core.Version[int, int], 3)
+		for i := range versions {
+			versions[i] = &core.FuncVersion[int, int]{
+				VersionName: fmt.Sprintf("v%d", i+1),
+				InferFn:     func(in int) (int, error) { return in, nil },
+			}
+		}
+		sys, err := core.NewSystem[int, int](versions, core.NewEqualityVoter[int](), cfg, r)
+		if err != nil {
+			return 0, err
+		}
+		if err := sys.Advance(horizon); err != nil {
+			return 0, err
+		}
+		var frac float64
+		for st, occ := range sys.Occupancy() {
+			if st.Healthy <= 1 {
+				frac += occ
+			}
+		}
+		return frac, nil
+	}
+	shared, err := degraded(false, rng.Split("shared", 0))
+	if err != nil {
+		return nil, err
+	}
+	perModule, err := degraded(true, rng.Split("permodule", 0))
+	if err != nil {
+		return nil, err
+	}
+	return &ClockAblationResult{SharedDegraded: shared, PerModuleDegraded: perModule}, nil
+}
+
+// Render formats the clock ablation.
+func (r *ClockAblationResult) Render() string {
+	t := &Table{
+		Title:   "Ablation: fault-clock semantics (fraction of time with <= 1 healthy module)",
+		Headers: []string{"Clock semantics", "Degraded-majority fraction"},
+	}
+	t.AddRow("shared single-server (DSPN)", f6(r.SharedDegraded))
+	t.AddRow("per-module", f6(r.PerModuleDegraded))
+	return t.String()
+}
+
+// ErlangConvergenceResult records how the Erlang phase-type approximation of
+// the rejuvenation clock converges to the simulated DSPN reliability.
+type ErlangConvergenceResult struct {
+	Simulated float64
+	Stages    []int
+	Values    []float64
+}
+
+// RunErlangConvergence solves the 3-version proactive model with increasing
+// Erlang stage counts and compares against the Monte-Carlo DSPN solution.
+func RunErlangConvergence(params reliability.Params, stages []int, rng *xrand.Rand) (*ErlangConvergenceResult, error) {
+	if len(stages) == 0 {
+		stages = []int{1, 2, 5, 10, 20}
+	}
+	model, err := reliability.NewModel(3, params, true)
+	if err != nil {
+		return nil, err
+	}
+	sim, err := model.SolveSimulation(reliability.DefaultSimConfig(), rng)
+	if err != nil {
+		return nil, err
+	}
+	res := &ErlangConvergenceResult{Simulated: sim.Expected, Stages: stages}
+	for _, k := range stages {
+		erl, err := model.SolveErlang(k)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: Erlang k=%d: %w", k, err)
+		}
+		res.Values = append(res.Values, erl.Expected)
+	}
+	return res, nil
+}
+
+// Render formats the convergence study.
+func (r *ErlangConvergenceResult) Render() string {
+	t := &Table{
+		Title:   "Ablation: Erlang phase-type approximation of the rejuvenation clock",
+		Headers: []string{"Stages", "E[R] (exact CTMC of approximation)", "abs. err vs simulation"},
+	}
+	for i, k := range r.Stages {
+		t.AddRow(fmt.Sprintf("%d", k), f6(r.Values[i]), f6(math.Abs(r.Values[i]-r.Simulated)))
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf("DSPN simulation reference: %s", f6(r.Simulated)))
+	return t.String()
+}

@@ -1,0 +1,184 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"mvml/internal/reliability"
+	"mvml/internal/xrand"
+)
+
+// quickCaseStudy reduces the repetitions to keep the suite fast while still
+// covering all eight routes.
+func quickCaseStudy() CaseStudyConfig {
+	cfg := DefaultCaseStudyConfig()
+	cfg.RunsPerRoute = 2
+	return cfg
+}
+
+func TestRunTableVIShape(t *testing.T) {
+	res, err := RunTableVI(quickCaseStudy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.With) != 8 || len(res.Without) != 8 {
+		t.Fatalf("route rows: %d/%d, want 8/8", len(res.With), len(res.Without))
+	}
+	_, _, withRate, withColl, _, _ := totals(res.With)
+	_, _, withoutRate, withoutColl, withoutRuns, _ := totals(res.Without)
+	if withColl != 0 {
+		t.Errorf("with rejuvenation: %d collided runs, want 0", withColl)
+	}
+	if withoutColl < withoutRuns/2 {
+		t.Errorf("without rejuvenation: only %d/%d runs collided", withoutColl, withoutRuns)
+	}
+	if withoutRate <= withRate+5 {
+		t.Errorf("collision rates: w/o %.2f%% should far exceed w/ %.2f%%", withoutRate, withRate)
+	}
+	out := res.Render()
+	for _, want := range []string{"Town02", "Avg/Total", "#Coll"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q", want)
+		}
+	}
+}
+
+func TestRunTableVIIShape(t *testing.T) {
+	cfg := DefaultCaseStudyConfig()
+	cfg.RunsPerRoute = 3
+	res, err := RunTableVII(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("%d rows, want 4", len(res.Rows))
+	}
+	if res.Rows[0].Interval != 3 || res.Rows[3].Interval != 9 {
+		t.Fatalf("unexpected intervals: %+v", res.Rows)
+	}
+	// The 3 s interval keeps driving safe; longer intervals must not be
+	// strictly safer overall.
+	if res.Rows[0].CollidedRuns != 0 {
+		t.Errorf("3s interval collided %d times, want 0", res.Rows[0].CollidedRuns)
+	}
+	longTotal := res.Rows[1].CollidedRuns + res.Rows[2].CollidedRuns + res.Rows[3].CollidedRuns
+	if longTotal == 0 {
+		t.Error("longer intervals produced no collisions at all — sweep shows no effect")
+	}
+	if !strings.Contains(res.Render(), "1/gamma") {
+		t.Fatal("render broken")
+	}
+}
+
+func TestRunTableVIIIShape(t *testing.T) {
+	res, err := RunTableVIII(DefaultCaseStudyConfig(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("%d rows, want 3", len(res.Rows))
+	}
+	single, three, threeRej := res.Rows[0], res.Rows[1], res.Rows[2]
+	if single.FPS.Mean <= three.FPS.Mean {
+		t.Error("single-version FPS should exceed three-version")
+	}
+	ratio := three.FPS.Mean / single.FPS.Mean
+	if ratio < 0.6 || ratio > 0.85 {
+		t.Errorf("3v/1v FPS ratio %.3f outside the paper's ≈0.73 band", ratio)
+	}
+	if threeRej.FPS.Mean >= three.FPS.Mean {
+		t.Error("rejuvenation reload stall should cost some FPS")
+	}
+	if single.GPU.Mean >= three.GPU.Mean {
+		t.Error("GPU utilisation should grow with versions")
+	}
+	// The paper: rejuvenation makes no significant GPU difference (CI
+	// overlap between the two three-version rows).
+	if !threeRej.GPU.Overlaps(three.GPU) && three.GPU.Mean-threeRej.GPU.Mean < 0.5 {
+		t.Error("rejuvenation GPU cost should be statistically insignificant")
+	}
+	if !strings.Contains(res.Render(), "Three-v w/rej") {
+		t.Fatal("render broken")
+	}
+}
+
+func TestVotingAblation(t *testing.T) {
+	cfg := quickCaseStudy()
+	res, err := RunVotingAblation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("%d rows, want 3", len(res.Rows))
+	}
+	quorum, list, unanimous := res.Rows[0], res.Rows[1], res.Rows[2]
+	// The object-level quorum voter should skip least; unanimity most.
+	if quorum.SkipRatio >= unanimous.SkipRatio {
+		t.Errorf("quorum skip %.3f should undercut unanimity %.3f",
+			quorum.SkipRatio, unanimous.SkipRatio)
+	}
+	if list.SkipRatio <= quorum.SkipRatio {
+		t.Errorf("list voting skip %.3f should exceed quorum %.3f",
+			list.SkipRatio, quorum.SkipRatio)
+	}
+	if !strings.Contains(res.Render(), "quorum") {
+		t.Fatal("render broken")
+	}
+}
+
+func TestSelectionAblation(t *testing.T) {
+	res, err := RunSelectionAblation(quickCaseStudy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("%d rows, want 3", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.Runs != 16 {
+			t.Fatalf("row %s ran %d times, want 16", row.Name, row.Runs)
+		}
+	}
+}
+
+func TestClockAblation(t *testing.T) {
+	res, err := RunClockAblation(DefaultCaseStudyConfig().System, 50_000, xrand.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per-module clocks triple the compromise arrival rate, so the system
+	// spends more time with a degraded majority.
+	if res.PerModuleDegraded <= res.SharedDegraded {
+		t.Errorf("per-module clocks (%.4f) should be more degraded than shared (%.4f)",
+			res.PerModuleDegraded, res.SharedDegraded)
+	}
+	if !strings.Contains(res.Render(), "single-server") {
+		t.Fatal("render broken")
+	}
+}
+
+func TestErlangConvergence(t *testing.T) {
+	res, err := RunErlangConvergence(reliability.DefaultParams(), []int{1, 5, 20}, xrand.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Values) != 3 {
+		t.Fatalf("%d values, want 3", len(res.Values))
+	}
+	errAt := func(i int) float64 {
+		d := res.Values[i] - res.Simulated
+		if d < 0 {
+			d = -d
+		}
+		return d
+	}
+	if errAt(2) > errAt(0) {
+		t.Errorf("Erlang-20 error %.5f should not exceed Erlang-1 error %.5f", errAt(2), errAt(0))
+	}
+	if errAt(2) > 0.005 {
+		t.Errorf("Erlang-20 should approximate the DSPN within 0.005, got %.5f", errAt(2))
+	}
+	if !strings.Contains(res.Render(), "Stages") {
+		t.Fatal("render broken")
+	}
+}

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDiversityStudyMechanics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training experiment skipped in -short mode")
+	}
+	cfg := tinyTableIIConfig()
+	res, err := RunDiversityStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("%d rows, want 3", len(res.Rows))
+	}
+	byArm := map[DiversityArm]DiversityRow{}
+	for _, row := range res.Rows {
+		byArm[row.Arm] = row
+		if row.Alpha < 0 || row.Alpha > 1 {
+			t.Errorf("%v: alpha %v outside [0,1]", row.Arm, row.Alpha)
+		}
+		if row.MeanAccuracy <= 1.0/43 {
+			t.Errorf("%v: models at or below chance (%.3f)", row.Arm, row.MeanAccuracy)
+		}
+		if row.VotedAccuracy < 0 || row.VotedAccuracy > 1 {
+			t.Errorf("%v: voted accuracy %v", row.Arm, row.VotedAccuracy)
+		}
+	}
+	// Init-only clones share data and architecture, so their errors should
+	// be the most correlated of the three arms.
+	if byArm[DiversityNone].Alpha < byArm[DiversityArchitecture].Alpha-0.1 {
+		t.Errorf("init-only alpha %.3f unexpectedly far below architecture-diversity alpha %.3f",
+			byArm[DiversityNone].Alpha, byArm[DiversityArchitecture].Alpha)
+	}
+	if !strings.Contains(res.Render(), "architecture diversity") {
+		t.Fatal("render broken")
+	}
+}
+
+func TestFaultSensitivityMechanics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training experiment skipped in -short mode")
+	}
+	res, err := RunFaultSensitivity(tinyTableIIConfig(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Campaigns) != 2 {
+		t.Fatalf("%d campaigns, want 2", len(res.Campaigns))
+	}
+	for _, c := range res.Campaigns {
+		if len(c.Layers) != 5 { // LeNetSmall has 5 parameterised layers
+			t.Fatalf("%v swept %d layers, want 5", c.Kind, len(c.Layers))
+		}
+		for _, l := range c.Layers {
+			// A single fault can only lower accuracy on average.
+			if l.MeanAccuracy > c.Baseline+0.02 {
+				t.Errorf("%v layer %d mean accuracy %v above baseline %v",
+					c.Kind, l.Layer, l.MeanAccuracy, c.Baseline)
+			}
+		}
+	}
+	if _, err := RunFaultSensitivity(tinyTableIIConfig(), 0); err == nil {
+		t.Fatal("expected error for zero trials")
+	}
+}

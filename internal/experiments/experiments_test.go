@@ -1,0 +1,215 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"mvml/internal/petri"
+	"mvml/internal/reliability"
+	"mvml/internal/xrand"
+)
+
+// tinyTableIIConfig keeps the Table II pipeline test fast: the assertions
+// below check pipeline mechanics, not headline accuracy (that is the
+// full-scale benchmark's job).
+func tinyTableIIConfig() TableIIConfig {
+	cfg := QuickTableIIConfig()
+	cfg.Dataset.TrainPerClass = 10
+	cfg.Dataset.TestPerClass = 5
+	cfg.Epochs = 5
+	cfg.MaxSeedTries = 200
+	return cfg
+}
+
+func TestRunTableIIPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training experiment skipped in -short mode")
+	}
+	res, err := RunTableII(tinyTableIIConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("%d rows, want 3", len(res.Rows))
+	}
+	const chance = 1.0 / 43
+	for _, row := range res.Rows {
+		if row.Healthy < 3*chance {
+			t.Errorf("%s healthy accuracy %.3f barely above chance", row.Model, row.Healthy)
+		}
+		if row.Compromised >= row.Healthy {
+			t.Errorf("%s: compromised accuracy %.3f not below healthy %.3f",
+				row.Model, row.Compromised, row.Healthy)
+		}
+	}
+	if res.P <= 0 || res.P >= 1 || res.PPrime <= res.P {
+		t.Fatalf("derived p=%v p'=%v implausible", res.P, res.PPrime)
+	}
+	if res.Alpha < 0 || res.Alpha > 1 {
+		t.Fatalf("alpha %v outside [0,1]", res.Alpha)
+	}
+	params := res.Params()
+	if err := params.Validate(); err != nil {
+		t.Fatalf("derived params invalid: %v", err)
+	}
+	if !strings.Contains(res.Render(), "alexnet-small") {
+		t.Fatal("render missing model rows")
+	}
+}
+
+func TestRunTableIIIMatchesPaper(t *testing.T) {
+	res, err := RunTableIII(reliability.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.States) != 9 {
+		t.Fatalf("%d states, want 9", len(res.States))
+	}
+	// First row is (3,0,0) = 0.988626295 in the paper.
+	if res.States[0] != (reliability.State{Healthy: 3}) {
+		t.Fatalf("first state %v", res.States[0])
+	}
+	if math.Abs(res.Values[0]-0.988626295) > 2e-5 {
+		t.Fatalf("R(3,0,0) = %v", res.Values[0])
+	}
+	if !strings.Contains(res.Render(), "(3,0,0)") {
+		t.Fatal("render missing states")
+	}
+}
+
+func TestRenderTableIV(t *testing.T) {
+	out := RenderTableIV(reliability.DefaultParams())
+	for _, want := range []string{"alpha", "1/gamma", "300 s", "1523 s"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table IV missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunTableVMatchesPaper(t *testing.T) {
+	simCfg := petri.SimConfig{Horizon: 2e6, Warmup: 2e4}
+	res, err := RunTableV(reliability.DefaultParams(), simCfg, xrand.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantWithout := []float64{0, 0.848211, 0.943875, 0.903190}
+	wantWith := []float64{0, 0.920217, 0.967152, 0.952998}
+	for n := 1; n <= 3; n++ {
+		if math.Abs(res.Without[n]-wantWithout[n]) > 1e-4 {
+			t.Errorf("%d-version w/o: %.6f, want %.6f", n, res.Without[n], wantWithout[n])
+		}
+		if math.Abs(res.With[n]-wantWith[n]) > 0.012 {
+			t.Errorf("%d-version w/: %.6f, want ≈%.6f", n, res.With[n], wantWith[n])
+		}
+		if res.With[n] <= res.Without[n] {
+			t.Errorf("%d-version: rejuvenation did not improve reliability", n)
+		}
+	}
+	if !strings.Contains(res.Render(), "Two-version") {
+		t.Fatal("render missing rows")
+	}
+}
+
+// fig4SimConfig keeps sweep tests fast.
+func fig4SimConfig() Fig4Config {
+	return Fig4Config{
+		SimConfig: petri.SimConfig{Horizon: 4e5, Warmup: 4e3},
+		Points:    4,
+	}
+}
+
+func TestFig4aIntervalMonotonicity(t *testing.T) {
+	res, err := RunFig4("a", reliability.DefaultParams(), fig4SimConfig(), xrand.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := res.Points[0], res.Points[len(res.Points)-1]
+	// Short intervals must beat long intervals for the 3-version system.
+	if first.With[3] <= last.With[3] {
+		t.Errorf("3v w/: interval %v (%.4f) should beat %v (%.4f)",
+			first.X, first.With[3], last.X, last.With[3])
+	}
+	// The without-rejuvenation series is flat in 1/gamma.
+	if math.Abs(first.Without[3]-last.Without[3]) > 1e-9 {
+		t.Error("w/o series should not depend on the rejuvenation interval")
+	}
+}
+
+func TestFig4dAlphaHurtsRedundancy(t *testing.T) {
+	res, err := RunFig4("d", reliability.DefaultParams(), fig4SimConfig(), xrand.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := res.Points[0], res.Points[len(res.Points)-1]
+	// Higher dependency degrades the 2v and 3v systems...
+	if last.Without[3] >= first.Without[3] {
+		t.Error("3-version reliability should fall as alpha grows")
+	}
+	if last.Without[2] >= first.Without[2] {
+		t.Error("2-version reliability should fall as alpha grows")
+	}
+	// ...but the single version is immune to alpha.
+	if math.Abs(last.Without[1]-first.Without[1]) > 1e-9 {
+		t.Error("single version should not depend on alpha")
+	}
+}
+
+func TestFig4eCrossoverExists(t *testing.T) {
+	cfg := Fig4Config{
+		SimConfig: petri.SimConfig{Horizon: 8e5, Warmup: 8e3},
+		Points:    8,
+	}
+	res, err := RunFig4("e", reliability.DefaultParams(), cfg, xrand.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper: a rejuvenated single version beats the non-rejuvenated
+	// three-version system for small p, and loses for large p, so a
+	// crossover exists inside the sweep.
+	xs := res.Crossovers(
+		func(p Fig4Point) float64 { return p.With[1] },
+		func(p Fig4Point) float64 { return p.Without[3] })
+	if len(xs) == 0 {
+		t.Fatal("no 1v-with vs 3v-without crossover found in Fig. 4(e) sweep")
+	}
+}
+
+func TestFig4fCompromisedInaccuracy(t *testing.T) {
+	res, err := RunFig4("f", reliability.DefaultParams(), fig4SimConfig(), xrand.New(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := res.Points[0], res.Points[len(res.Points)-1]
+	// Reliability drops with p' everywhere, and the single version
+	// without rejuvenation is hurt the most (paper: −27%).
+	dropSingle := first.Without[1] - last.Without[1]
+	dropThreeWith := first.With[3] - last.With[3]
+	if dropSingle <= 0 {
+		t.Error("single-version reliability should fall with p'")
+	}
+	if dropSingle <= dropThreeWith {
+		t.Errorf("1v w/o should be harmed more (%.4f) than 3v w/ (%.4f)", dropSingle, dropThreeWith)
+	}
+}
+
+func TestRunFig4UnknownLetter(t *testing.T) {
+	if _, err := RunFig4("z", reliability.DefaultParams(), fig4SimConfig(), xrand.New(1)); err == nil {
+		t.Fatal("expected error for unknown sweep")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{
+		Title:   "T",
+		Headers: []string{"a", "long-header"},
+		Notes:   []string{"note"},
+	}
+	tb.AddRow("x", "y")
+	out := tb.String()
+	for _, want := range []string{"T", "long-header", "x", "note", "---"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}

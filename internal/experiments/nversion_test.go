@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func quickNVersionConfig() NVersionStudyConfig {
+	cfg := DefaultNVersionStudyConfig()
+	cfg.Requests = 12_000
+	return cfg
+}
+
+func TestNVersionStudyValidation(t *testing.T) {
+	bad := quickNVersionConfig()
+	bad.MaxVersions = 0
+	if _, err := RunNVersionStudy(bad); err == nil {
+		t.Fatal("expected error for MaxVersions 0")
+	}
+	bad = quickNVersionConfig()
+	bad.Requests = 0
+	if _, err := RunNVersionStudy(bad); err == nil {
+		t.Fatal("expected error for zero requests")
+	}
+}
+
+func TestNVersionStudyShape(t *testing.T) {
+	cfg := quickNVersionConfig()
+	res, err := RunNVersionStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 row for n=1 plus 3 voters x 4 sizes.
+	if len(res.Rows) != 1+3*(cfg.MaxVersions-1) {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	byKey := map[string]NVersionRow{}
+	for _, row := range res.Rows {
+		byKey[row.Voter+string(rune('0'+row.Versions))] = row
+
+		// Rejuvenation must never hurt the error-free metric by much
+		// (Monte-Carlo noise aside) and usually helps correctness.
+		if row.ErrorFreeWith < row.ErrorFreeWithout-0.02 {
+			t.Errorf("%d-version %s: rejuvenation degraded error-freeness (%.4f vs %.4f)",
+				row.Versions, row.Voter, row.ErrorFreeWith, row.ErrorFreeWithout)
+		}
+		// Plurality never skips; unanimity skips most.
+		if row.Voter == "plurality" && (row.SkipWith != 0 || row.SkipWithout != 0) {
+			t.Errorf("plurality skipped: %+v", row)
+		}
+	}
+	// Table V's finding generalises: under the paper's error-free metric
+	// the 2-version majority (with its safe skip) at least matches the
+	// 3-version majority.
+	two := byKey["majority2"]
+	three := byKey["majority3"]
+	if two.ErrorFreeWith < three.ErrorFreeWith-0.005 {
+		t.Errorf("2-version error-freeness %.4f should rival 3-version %.4f",
+			two.ErrorFreeWith, three.ErrorFreeWith)
+	}
+	// Unanimity trades availability for error-freeness: it must have the
+	// highest skip ratio of the 3-version voters and at least as good an
+	// error-free rate as majority.
+	u3 := byKey["unanimous3"]
+	if u3.SkipWith <= three.SkipWith {
+		t.Error("unanimity should skip more than majority")
+	}
+	if u3.ErrorFreeWith < three.ErrorFreeWith-0.005 {
+		t.Error("unanimity should be at least as error-free as majority")
+	}
+	// Five-version majority should beat three-version majority on plain
+	// correctness (more redundancy).
+	five := byKey["majority5"]
+	if five.ReliabilityWith < three.ReliabilityWith-0.015 { // Monte-Carlo margin at 12k requests
+		t.Errorf("5-version correctness %.4f should be >= 3-version %.4f",
+			five.ReliabilityWith, three.ReliabilityWith)
+	}
+	if !strings.Contains(res.Render(), "unanimous") {
+		t.Fatal("render broken")
+	}
+}

@@ -1,0 +1,291 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"mvml/internal/petri"
+	"mvml/internal/reliability"
+	"mvml/internal/stats"
+	"mvml/internal/xrand"
+)
+
+// TableIIIResult lists the reliability-function value of every reachable
+// system state (the paper's Table III).
+type TableIIIResult struct {
+	Params reliability.Params
+	States []reliability.State
+	Values []float64
+}
+
+// RunTableIII evaluates the reliability functions of Section V-B for every
+// (i, j, k) state with 1–3 functional modules.
+func RunTableIII(params reliability.Params) (*TableIIIResult, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	res := &TableIIIResult{Params: params}
+	// The paper's Table III lists the states in this order.
+	states := []reliability.State{
+		{Healthy: 3}, {Healthy: 2, NonFunctional: 1}, {Healthy: 2, Compromised: 1},
+		{Healthy: 1, NonFunctional: 2}, {Healthy: 1, Compromised: 1, NonFunctional: 1},
+		{Healthy: 1, Compromised: 2}, {Compromised: 3}, {Compromised: 2, NonFunctional: 1},
+		{Compromised: 1, NonFunctional: 2},
+	}
+	for _, s := range states {
+		v, err := params.StateReliability(s)
+		if err != nil {
+			return nil, err
+		}
+		res.States = append(res.States, s)
+		res.Values = append(res.Values, v)
+	}
+	return res, nil
+}
+
+// Render formats the result like the paper's Table III.
+func (r *TableIIIResult) Render() string {
+	t := &Table{
+		Title:   "Table III: output reliability of the reliability functions per system state",
+		Headers: []string{"System state", "Reliability"},
+	}
+	for i, s := range r.States {
+		t.AddRow(s.String(), f9(r.Values[i]))
+	}
+	return t.String()
+}
+
+// RenderTableIV prints the model input parameters (the paper's Table IV).
+func RenderTableIV(p reliability.Params) string {
+	t := &Table{
+		Title:   "Table IV: default input parameters for the DSPN models",
+		Headers: []string{"Param", "Description", "Value"},
+	}
+	t.AddRow("alpha", "Error probability dependency", f6(p.Alpha))
+	t.AddRow("p", "Output failure probability (healthy)", f6(p.P))
+	t.AddRow("p'", "Output failure probability (compromised)", f6(p.PPrime))
+	t.AddRow("1/lambda_c", "Mean time to compromise a module", fmt.Sprintf("%.0f s", p.MeanTimeToCompromise))
+	t.AddRow("1/lambda", "Module's mean time to failure", fmt.Sprintf("%.0f s", p.MeanTimeToFailure))
+	t.AddRow("1/mu", "Mean time to reactive rejuvenate", fmt.Sprintf("%.1f s", p.MeanReactiveRejuvenation))
+	t.AddRow("1/mu_r", "Mean time to proactive rejuvenate", fmt.Sprintf("%.1f s", p.MeanProactiveRejuvenation))
+	t.AddRow("1/gamma", "Rejuvenation interval", fmt.Sprintf("%.0f s", p.RejuvenationInterval))
+	return t.String()
+}
+
+// TableVResult holds the steady-state reliabilities of the six
+// configurations (1/2/3 versions × with/without proactive rejuvenation).
+type TableVResult struct {
+	Params  reliability.Params
+	Without [4]float64 // index by n (1..3)
+	With    [4]float64
+	WithCI  [4]stats.Interval
+}
+
+// RunTableV solves the DSPN models of Figs. 2 and 3 for one-, two- and
+// three-version systems: the without-proactive column exactly via the
+// embedded CTMC, the with-proactive column by Monte-Carlo simulation of the
+// deterministic-clock DSPN.
+func RunTableV(params reliability.Params, simCfg petri.SimConfig, rng *xrand.Rand) (*TableVResult, error) {
+	res := &TableVResult{Params: params}
+	for n := 1; n <= 3; n++ {
+		without, err := reliability.NewModel(n, params, false)
+		if err != nil {
+			return nil, err
+		}
+		exact, err := without.SolveExact()
+		if err != nil {
+			return nil, fmt.Errorf("experiments: table V %d-version exact: %w", n, err)
+		}
+		res.Without[n] = exact.Expected
+
+		with, err := reliability.NewModel(n, params, true)
+		if err != nil {
+			return nil, err
+		}
+		sim, err := with.SolveSimulation(simCfg, rng.Split("tableV", uint64(n)))
+		if err != nil {
+			return nil, fmt.Errorf("experiments: table V %d-version simulation: %w", n, err)
+		}
+		res.With[n] = sim.Expected
+		res.WithCI[n] = sim.CI
+	}
+	return res, nil
+}
+
+// Render formats the result like the paper's Table V.
+func (r *TableVResult) Render() string {
+	t := &Table{
+		Title:   "Table V: steady-state reliability with and without proactive rejuvenation",
+		Headers: []string{"Configuration", "w/o rej.", "w/ rej."},
+	}
+	names := []string{"", "Single-version (baseline)", "Two-version", "Three-version"}
+	for n := 1; n <= 3; n++ {
+		t.AddRow(names[n], f6(r.Without[n]), f6(r.With[n]))
+	}
+	t.Notes = append(t.Notes,
+		"w/o column: exact CTMC solution; w/ column: DSPN simulation",
+		fmt.Sprintf("paper: 0.848211/0.920217, 0.943875/0.967152, 0.903190/0.952998"))
+	return t.String()
+}
+
+// Fig4Point is one x-coordinate of a Fig. 4 sweep with the six series
+// values.
+type Fig4Point struct {
+	X float64
+	// Without and With are indexed by version count (1..3).
+	Without [4]float64
+	With    [4]float64
+}
+
+// Fig4Result is a full parameter sweep (one of Fig. 4 a–f).
+type Fig4Result struct {
+	Name   string // e.g. "4a"
+	XLabel string
+	Points []Fig4Point
+}
+
+// fig4Sweep evaluates the six configurations across a parameter sweep.
+// mutate applies the x value to a copy of the base parameters.
+func fig4Sweep(name, xlabel string, xs []float64, base reliability.Params,
+	mutate func(reliability.Params, float64) reliability.Params,
+	simCfg petri.SimConfig, rng *xrand.Rand) (*Fig4Result, error) {
+
+	res := &Fig4Result{Name: name, XLabel: xlabel}
+	for i, x := range xs {
+		params := mutate(base, x)
+		if err := params.Validate(); err != nil {
+			return nil, fmt.Errorf("experiments: fig %s at %v: %w", name, x, err)
+		}
+		point := Fig4Point{X: x}
+		for n := 1; n <= 3; n++ {
+			without, err := reliability.NewModel(n, params, false)
+			if err != nil {
+				return nil, err
+			}
+			exact, err := without.SolveExact()
+			if err != nil {
+				return nil, err
+			}
+			point.Without[n] = exact.Expected
+
+			with, err := reliability.NewModel(n, params, true)
+			if err != nil {
+				return nil, err
+			}
+			sim, err := with.SolveSimulation(simCfg, rng.Split(name, uint64(i*4+n)))
+			if err != nil {
+				return nil, err
+			}
+			point.With[n] = sim.Expected
+		}
+		res.Points = append(res.Points, point)
+	}
+	return res, nil
+}
+
+// Fig4Config selects the sweep grids; the zero value uses the paper's
+// ranges.
+type Fig4Config struct {
+	// SimConfig is used for every with-rejuvenation solve.
+	SimConfig petri.SimConfig
+	// Points overrides the number of sweep points (0 = default grid).
+	Points int
+}
+
+func sweepGrid(lo, hi float64, n int) []float64 {
+	if n < 2 {
+		n = 2
+	}
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = lo + (hi-lo)*float64(i)/float64(n-1)
+	}
+	return xs
+}
+
+// RunFig4 produces one of the paper's Fig. 4 sweeps by letter (a–f).
+func RunFig4(letter string, base reliability.Params, cfg Fig4Config, rng *xrand.Rand) (*Fig4Result, error) {
+	simCfg := cfg.SimConfig
+	if simCfg.Horizon == 0 {
+		simCfg = reliability.DefaultSimConfig()
+	}
+	n := cfg.Points
+	grid := func(lo, hi float64, def int) []float64 {
+		if n > 0 {
+			return sweepGrid(lo, hi, n)
+		}
+		return sweepGrid(lo, hi, def)
+	}
+	switch letter {
+	case "a":
+		return fig4Sweep("4a", "rejuvenation interval 1/gamma (s)", grid(50, 3000, 9), base,
+			func(p reliability.Params, x float64) reliability.Params {
+				p.RejuvenationInterval = x
+				return p
+			}, simCfg, rng)
+	case "b":
+		return fig4Sweep("4b", "rejuvenation duration 1/mu_r (s)", grid(0.1, 50, 9), base,
+			func(p reliability.Params, x float64) reliability.Params {
+				p.MeanProactiveRejuvenation = x
+				return p
+			}, simCfg, rng)
+	case "c":
+		return fig4Sweep("4c", "mean time to compromise 1/lambda_c (s)", grid(100, 7000, 9), base,
+			func(p reliability.Params, x float64) reliability.Params {
+				p.MeanTimeToCompromise = x
+				return p
+			}, simCfg, rng)
+	case "d":
+		return fig4Sweep("4d", "error dependency alpha", grid(0.1, 1.0, 10), base,
+			func(p reliability.Params, x float64) reliability.Params {
+				p.Alpha = x
+				return p
+			}, simCfg, rng)
+	case "e":
+		return fig4Sweep("4e", "healthy inaccuracy p", grid(0.01, 0.23, 9), base,
+			func(p reliability.Params, x float64) reliability.Params {
+				p.P = x
+				return p
+			}, simCfg, rng)
+	case "f":
+		return fig4Sweep("4f", "compromised inaccuracy p'", grid(0.1, 0.6, 9), base,
+			func(p reliability.Params, x float64) reliability.Params {
+				p.PPrime = x
+				return p
+			}, simCfg, rng)
+	default:
+		return nil, fmt.Errorf("experiments: unknown Fig. 4 sweep %q (want a-f)", letter)
+	}
+}
+
+// Render formats the sweep as a series table.
+func (r *Fig4Result) Render() string {
+	t := &Table{
+		Title: fmt.Sprintf("Fig. %s: reliability vs %s", r.Name, r.XLabel),
+		Headers: []string{r.XLabel,
+			"1v w/o", "1v w/", "2v w/o", "2v w/", "3v w/o", "3v w/"},
+	}
+	for _, p := range r.Points {
+		t.AddRow(fmt.Sprintf("%.4g", p.X),
+			f6(p.Without[1]), f6(p.With[1]),
+			f6(p.Without[2]), f6(p.With[2]),
+			f6(p.Without[3]), f6(p.With[3]))
+	}
+	return t.String()
+}
+
+// Crossovers reports the x values at which one series overtakes another —
+// the paper highlights, e.g., where a rejuvenated single version beats a
+// non-rejuvenated three-version system in Fig. 4(e).
+func (r *Fig4Result) Crossovers(seriesA, seriesB func(Fig4Point) float64) []float64 {
+	var xs []float64
+	for i := 1; i < len(r.Points); i++ {
+		prev := seriesA(r.Points[i-1]) - seriesB(r.Points[i-1])
+		cur := seriesA(r.Points[i]) - seriesB(r.Points[i])
+		if (prev < 0 && cur >= 0) || (prev > 0 && cur <= 0) {
+			xs = append(xs, r.Points[i].X)
+		}
+	}
+	sort.Float64s(xs)
+	return xs
+}

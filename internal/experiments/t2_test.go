@@ -1,0 +1,14 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestTimingTableII(t *testing.T) {
+	res, err := RunTableII(QuickTableIIConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Println(res.Render())
+}

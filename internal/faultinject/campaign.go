@@ -1,0 +1,177 @@
+package faultinject
+
+import (
+	"fmt"
+
+	"mvml/internal/nn"
+	"mvml/internal/xrand"
+)
+
+// Campaigns automate what PyTorchFI-style tooling is used for in the paper's
+// §II-B: injecting many independent faults and measuring the accuracy
+// distribution, per layer and fault kind, to find where a model is fragile.
+
+// Kind selects the fault model of a campaign.
+type Kind int
+
+// Campaign fault kinds.
+const (
+	// KindWeightValue replaces one weight with a uniform value in
+	// [MinVal, MaxVal) — random_weight_inj.
+	KindWeightValue Kind = iota + 1
+	// KindBitFlip flips one uniformly random bit of one weight.
+	KindBitFlip
+	// KindStuckAtZero forces one weight to zero.
+	KindStuckAtZero
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindWeightValue:
+		return "weight-value"
+	case KindBitFlip:
+		return "bit-flip"
+	case KindStuckAtZero:
+		return "stuck-at-zero"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// CampaignConfig parameterises RunCampaign.
+type CampaignConfig struct {
+	// Kind is the fault model.
+	Kind Kind
+	// Layers restricts the sweep (nil = every parameterised layer).
+	Layers []int
+	// TrialsPerLayer is the number of independent injections per layer.
+	TrialsPerLayer int
+	// MinVal, MaxVal bound KindWeightValue injections.
+	MinVal, MaxVal float64
+	// CriticalAccuracy classifies a trial as critical when the faulted
+	// accuracy falls below this threshold.
+	CriticalAccuracy float64
+	// Seed drives the injections.
+	Seed uint64
+}
+
+// Validate reports configuration errors.
+func (c CampaignConfig) Validate() error {
+	switch c.Kind {
+	case KindWeightValue, KindBitFlip, KindStuckAtZero:
+	default:
+		return fmt.Errorf("faultinject: unknown campaign kind %v", c.Kind)
+	}
+	if c.TrialsPerLayer < 1 {
+		return fmt.Errorf("faultinject: TrialsPerLayer %d < 1", c.TrialsPerLayer)
+	}
+	if c.Kind == KindWeightValue && c.MaxVal <= c.MinVal {
+		return fmt.Errorf("faultinject: empty value range [%v, %v)", c.MinVal, c.MaxVal)
+	}
+	return nil
+}
+
+// LayerImpact is the per-layer outcome of a campaign.
+type LayerImpact struct {
+	Layer int
+	Name  string
+	// Baseline is the fault-free accuracy.
+	Baseline float64
+	// Trials is the number of injections performed.
+	Trials int
+	// MeanAccuracy and MinAccuracy summarise the faulted accuracies.
+	MeanAccuracy, MinAccuracy float64
+	// CriticalFraction is the share of trials below CriticalAccuracy.
+	CriticalFraction float64
+}
+
+// CampaignResult summarises a fault-injection campaign.
+type CampaignResult struct {
+	Kind     Kind
+	Baseline float64
+	Layers   []LayerImpact
+}
+
+// RunCampaign injects TrialsPerLayer independent faults into each targeted
+// layer, measuring the model's accuracy on eval after each and reverting
+// before the next. The model is returned to its pristine state.
+func RunCampaign(net *nn.Network, eval []nn.Sample, cfg CampaignConfig, rng *xrand.Rand) (*CampaignResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(eval) == 0 {
+		return nil, fmt.Errorf("faultinject: empty evaluation set")
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("faultinject: nil rng")
+	}
+	baseline, err := net.Accuracy(eval)
+	if err != nil {
+		return nil, err
+	}
+	layers := cfg.Layers
+	if layers == nil {
+		for _, pl := range net.ParamLayers() {
+			layers = append(layers, pl.Index)
+		}
+	}
+	paramLayers := net.ParamLayers()
+	res := &CampaignResult{Kind: cfg.Kind, Baseline: baseline}
+	for _, layer := range layers {
+		if layer < 0 || layer >= len(paramLayers) {
+			return nil, fmt.Errorf("%w: %d", ErrNoSuchLayer, layer)
+		}
+		impact := LayerImpact{
+			Layer:       layer,
+			Name:        paramLayers[layer].Name,
+			Baseline:    baseline,
+			MinAccuracy: 1,
+		}
+		var sum float64
+		critical := 0
+		for trial := 0; trial < cfg.TrialsPerLayer; trial++ {
+			r := xrand.New(cfg.Seed).Split(fmt.Sprintf("campaign/%d", layer), uint64(trial))
+			var inj Injection
+			switch cfg.Kind {
+			case KindWeightValue:
+				inj, err = RandomWeightInj(net, layer, cfg.MinVal, cfg.MaxVal, r)
+			case KindBitFlip:
+				inj, err = BitFlip(net, layer, r)
+			case KindStuckAtZero:
+				inj, err = StuckAt(net, layer, 0, r)
+			}
+			if err != nil {
+				return nil, err
+			}
+			acc, err := net.Accuracy(eval)
+			inj.Revert()
+			if err != nil {
+				return nil, err
+			}
+			sum += acc
+			if acc < impact.MinAccuracy {
+				impact.MinAccuracy = acc
+			}
+			if acc < cfg.CriticalAccuracy {
+				critical++
+			}
+			impact.Trials++
+		}
+		impact.MeanAccuracy = sum / float64(impact.Trials)
+		impact.CriticalFraction = float64(critical) / float64(impact.Trials)
+		res.Layers = append(res.Layers, impact)
+	}
+	return res, nil
+}
+
+// Render formats the campaign outcome as a text table.
+func (r *CampaignResult) Render() string {
+	out := fmt.Sprintf("Fault-injection campaign (%s), baseline accuracy %.4f\n", r.Kind, r.Baseline)
+	out += fmt.Sprintf("%-4s %-12s %-7s %-10s %-10s %-9s\n",
+		"layer", "name", "trials", "mean acc", "min acc", "critical")
+	for _, l := range r.Layers {
+		out += fmt.Sprintf("%-4d %-12s %-7d %-10.4f %-10.4f %-9.2f\n",
+			l.Layer, l.Name, l.Trials, l.MeanAccuracy, l.MinAccuracy, l.CriticalFraction)
+	}
+	return out
+}

@@ -1,0 +1,121 @@
+package faultinject
+
+import (
+	"strings"
+	"testing"
+
+	"mvml/internal/xrand"
+)
+
+func campaignConfig() CampaignConfig {
+	return CampaignConfig{
+		Kind:             KindWeightValue,
+		TrialsPerLayer:   4,
+		MinVal:           -10,
+		MaxVal:           30,
+		CriticalAccuracy: 0.05,
+		Seed:             7,
+	}
+}
+
+func TestCampaignValidation(t *testing.T) {
+	bad := campaignConfig()
+	bad.Kind = Kind(99)
+	if err := bad.Validate(); err == nil {
+		t.Fatal("expected error for unknown kind")
+	}
+	bad = campaignConfig()
+	bad.TrialsPerLayer = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("expected error for zero trials")
+	}
+	bad = campaignConfig()
+	bad.MinVal, bad.MaxVal = 5, 5
+	if err := bad.Validate(); err == nil {
+		t.Fatal("expected error for empty range")
+	}
+}
+
+func TestCampaignSweepsAllLayersAndRestores(t *testing.T) {
+	net := testNet(t)
+	eval := syntheticEval(30, xrand.New(3))
+	before := net.CloneWeights()
+
+	res, err := RunCampaign(net, eval, campaignConfig(), xrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Layers) != len(net.ParamLayers()) {
+		t.Fatalf("swept %d layers, want %d", len(res.Layers), len(net.ParamLayers()))
+	}
+	for _, l := range res.Layers {
+		if l.Trials != 4 {
+			t.Fatalf("layer %d ran %d trials", l.Layer, l.Trials)
+		}
+		if l.MeanAccuracy < 0 || l.MeanAccuracy > 1 || l.MinAccuracy > l.MeanAccuracy+1e-12 {
+			t.Fatalf("layer %d stats inconsistent: %+v", l.Layer, l)
+		}
+		if l.CriticalFraction < 0 || l.CriticalFraction > 1 {
+			t.Fatalf("layer %d critical fraction %v", l.Layer, l.CriticalFraction)
+		}
+	}
+	// The model is pristine afterwards.
+	params := net.Params()
+	for i, p := range params {
+		for j := range p.Data {
+			if p.Data[j] != before[i][j] {
+				t.Fatal("campaign left the model modified")
+			}
+		}
+	}
+	if !strings.Contains(res.Render(), "baseline") {
+		t.Fatal("render broken")
+	}
+}
+
+func TestCampaignRespectsLayerSelection(t *testing.T) {
+	net := testNet(t)
+	eval := syntheticEval(20, xrand.New(5))
+	cfg := campaignConfig()
+	cfg.Layers = []int{0, 2}
+	cfg.Kind = KindBitFlip
+	res, err := RunCampaign(net, eval, cfg, xrand.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Layers) != 2 || res.Layers[0].Layer != 0 || res.Layers[1].Layer != 2 {
+		t.Fatalf("unexpected layer selection: %+v", res.Layers)
+	}
+	cfg.Layers = []int{99}
+	if _, err := RunCampaign(net, eval, cfg, xrand.New(2)); err == nil {
+		t.Fatal("expected error for bad layer")
+	}
+}
+
+func TestCampaignStuckAtZero(t *testing.T) {
+	net := testNet(t)
+	eval := syntheticEval(20, xrand.New(6))
+	cfg := campaignConfig()
+	cfg.Kind = KindStuckAtZero
+	cfg.TrialsPerLayer = 2
+	if _, err := RunCampaign(net, eval, cfg, xrand.New(3)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCampaignErrors(t *testing.T) {
+	net := testNet(t)
+	if _, err := RunCampaign(net, nil, campaignConfig(), xrand.New(1)); err == nil {
+		t.Fatal("expected error for empty eval set")
+	}
+	if _, err := RunCampaign(net, syntheticEval(5, xrand.New(1)), campaignConfig(), nil); err == nil {
+		t.Fatal("expected error for nil rng")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindWeightValue.String() != "weight-value" || KindBitFlip.String() != "bit-flip" ||
+		KindStuckAtZero.String() != "stuck-at-zero" {
+		t.Fatal("Kind.String broken")
+	}
+}

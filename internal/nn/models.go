@@ -1,0 +1,155 @@
+package nn
+
+import (
+	"fmt"
+
+	"mvml/internal/xrand"
+)
+
+// InputSize is the spatial side length of the classifier inputs. The signs
+// dataset renders to this size; the three architectures below are sized for
+// it the way the paper's models are sized for GTSRB crops.
+const InputSize = 24
+
+// InputChannels is the number of colour channels of classifier inputs.
+const InputChannels = 3
+
+// NewLeNetSmall builds the LeNet-5-style classifier: two valid (unpadded)
+// 5×5 convolutions with pooling, then three dense layers — the shallowest
+// and most classical of the three versions.
+func NewLeNetSmall(numClasses int, r *xrand.Rand) *Network {
+	// 3×24×24 → conv5 → 6×20×20 → pool → 6×10×10 → conv5 → 16×6×6 →
+	// pool → 16×3×3 → 144 → 120 → 84 → classes.
+	return &Network{
+		Name: "lenet-small",
+		Layers: []Layer{
+			NewCenter("center", 0.5),
+			NewConv2D("conv1", InputChannels, 6, 5, 1, 0, r.Split("lenet-conv1", 0)),
+			NewReLU("relu1"),
+			NewMaxPool2D("pool1", 2),
+			NewConv2D("conv2", 6, 16, 5, 1, 0, r.Split("lenet-conv2", 0)),
+			NewReLU("relu2"),
+			NewMaxPool2D("pool2", 2),
+			NewFlatten("flatten"),
+			NewDense("fc1", 16*3*3, 120, r.Split("lenet-fc1", 0)),
+			NewReLU("relu3"),
+			NewDense("fc2", 120, 84, r.Split("lenet-fc2", 0)),
+			NewReLU("relu4"),
+			NewDense("fc3", 84, numClasses, r.Split("lenet-fc3", 0)),
+		},
+	}
+}
+
+// NewAlexNetSmall builds the AlexNet-style classifier: a deeper stack of
+// padded 3×3 convolutions with aggressive pooling and a dropout-regularised
+// dense head.
+func NewAlexNetSmall(numClasses int, r *xrand.Rand) *Network {
+	// 3×24×24 → 16×24×24 → pool → 16×12×12 → 32×12×12 → pool → 32×6×6 →
+	// 32×6×6 → pool → 32×3×3 → 288 → 128 → classes.
+	return &Network{
+		Name: "alexnet-small",
+		Layers: []Layer{
+			NewCenter("center", 0.5),
+			NewConv2D("conv1", InputChannels, 16, 3, 1, 1, r.Split("alex-conv1", 0)),
+			NewReLU("relu1"),
+			NewMaxPool2D("pool1", 2),
+			NewConv2D("conv2", 16, 32, 3, 1, 1, r.Split("alex-conv2", 0)),
+			NewReLU("relu2"),
+			NewMaxPool2D("pool2", 2),
+			NewConv2D("conv3", 32, 32, 3, 1, 1, r.Split("alex-conv3", 0)),
+			NewReLU("relu3"),
+			NewMaxPool2D("pool3", 2),
+			NewFlatten("flatten"),
+			NewDropout("drop1", 0.25, r.Split("alex-drop1", 0)),
+			NewDense("fc1", 32*3*3, 128, r.Split("alex-fc1", 0)),
+			NewReLU("relu4"),
+			NewDense("fc2", 128, numClasses, r.Split("alex-fc2", 0)),
+		},
+	}
+}
+
+// zeroInit clears a convolution's kernel so a residual block starts as the
+// identity mapping — the standard initialisation trick that keeps deep
+// residual stacks trainable without normalisation layers.
+func zeroInit(c *Conv2D) *Conv2D {
+	c.Kernel.Zero()
+	return c
+}
+
+// NewResNetSmall builds the ResNet-style classifier: a convolutional stem,
+// two residual blocks (the second with a 1×1 projection on the skip path),
+// global average pooling, and a linear head.
+func NewResNetSmall(numClasses int, r *xrand.Rand) *Network {
+	// 3×24×24 → stem 16×24×24 → pool → 16×12×12 → res1 → pool → 16×6×6 →
+	// res2 (projects to 32×6×6) → flatten → classes.
+	block1 := NewResidual("res1", nil,
+		NewConv2D("res1-conv1", 16, 16, 3, 1, 1, r.Split("res1-conv1", 0)),
+		NewReLU("res1-relu"),
+		zeroInit(NewConv2D("res1-conv2", 16, 16, 3, 1, 1, r.Split("res1-conv2", 0))),
+	)
+	block2 := NewResidual("res2",
+		NewConv2D("res2-proj", 16, 32, 1, 1, 0, r.Split("res2-proj", 0)),
+		NewConv2D("res2-conv1", 16, 32, 3, 1, 1, r.Split("res2-conv1", 0)),
+		NewReLU("res2-relu"),
+		zeroInit(NewConv2D("res2-conv2", 32, 32, 3, 1, 1, r.Split("res2-conv2", 0))),
+	)
+	return &Network{
+		Name: "resnet-small",
+		Layers: []Layer{
+			NewCenter("center", 0.5),
+			NewConv2D("stem", InputChannels, 16, 3, 1, 1, r.Split("resnet-stem", 0)),
+			NewReLU("stem-relu"),
+			NewMaxPool2D("pool1", 2),
+			block1,
+			NewReLU("relu1"),
+			NewMaxPool2D("pool2", 2),
+			block2,
+			NewReLU("relu2"),
+			NewFlatten("flatten"),
+			NewDense("head", 32*6*6, numClasses, r.Split("resnet-head", 0)),
+		},
+	}
+}
+
+// ModelName identifies one of the three classifier architectures.
+type ModelName int
+
+// The three diverse classifier versions, mirroring the paper's
+// AlexNet / ResNet50 / LeNet triple (Table II order).
+const (
+	ModelAlexNet ModelName = iota + 1
+	ModelResNet
+	ModelLeNet
+)
+
+func (m ModelName) String() string {
+	switch m {
+	case ModelAlexNet:
+		return "alexnet-small"
+	case ModelResNet:
+		return "resnet-small"
+	case ModelLeNet:
+		return "lenet-small"
+	default:
+		return fmt.Sprintf("ModelName(%d)", int(m))
+	}
+}
+
+// NewModel builds the named architecture.
+func NewModel(name ModelName, numClasses int, r *xrand.Rand) (*Network, error) {
+	switch name {
+	case ModelAlexNet:
+		return NewAlexNetSmall(numClasses, r), nil
+	case ModelResNet:
+		return NewResNetSmall(numClasses, r), nil
+	case ModelLeNet:
+		return NewLeNetSmall(numClasses, r), nil
+	default:
+		return nil, fmt.Errorf("nn: unknown model %v", name)
+	}
+}
+
+// AllModels lists the three versions in the paper's Table II order.
+func AllModels() []ModelName {
+	return []ModelName{ModelAlexNet, ModelResNet, ModelLeNet}
+}

@@ -1,0 +1,290 @@
+// Package nn is a small, deterministic neural-network library: the substrate
+// standing in for PyTorch in this reproduction. It provides the layers needed
+// by the three classifier architectures the paper trains (LeNet, AlexNet,
+// ResNet50 — reproduced here as size-reduced variants with the same
+// structural diversity), per-sample backpropagation with mini-batch gradient
+// accumulation, SGD with momentum, and weight snapshots for serialisation
+// and fault injection.
+package nn
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"mvml/internal/tensor"
+)
+
+// Layer is one differentiable stage of a network. Forward must record
+// whatever it needs for the next Backward call; layers are therefore
+// stateful and not safe for concurrent use. Inference-only callers pass
+// train=false, which skips regularisation noise such as dropout.
+type Layer interface {
+	// Name identifies the layer for diagnostics and fault targeting.
+	Name() string
+	// Forward computes the layer output for a single sample.
+	Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error)
+	// Backward consumes the gradient w.r.t. the layer output and returns
+	// the gradient w.r.t. the layer input, accumulating parameter
+	// gradients internally.
+	Backward(grad *tensor.Tensor) (*tensor.Tensor, error)
+	// Params returns the trainable parameter tensors (possibly empty).
+	Params() []*tensor.Tensor
+	// Grads returns gradient accumulators aligned with Params.
+	Grads() []*tensor.Tensor
+}
+
+// Network is an ordered stack of layers with a human-readable name
+// (e.g. "lenet-small").
+type Network struct {
+	Name   string
+	Layers []Layer
+}
+
+// Forward runs a single sample through every layer.
+func (n *Network) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error) {
+	var err error
+	for _, l := range n.Layers {
+		x, err = l.Forward(x, train)
+		if err != nil {
+			return nil, fmt.Errorf("nn: layer %s: %w", l.Name(), err)
+		}
+	}
+	return x, nil
+}
+
+// Backward propagates an output gradient through the stack in reverse.
+func (n *Network) Backward(grad *tensor.Tensor) error {
+	var err error
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		grad, err = n.Layers[i].Backward(grad)
+		if err != nil {
+			return fmt.Errorf("nn: layer %s backward: %w", n.Layers[i].Name(), err)
+		}
+	}
+	return nil
+}
+
+// Predict returns the argmax class for one input sample.
+func (n *Network) Predict(x *tensor.Tensor) (int, error) {
+	out, err := n.Forward(x, false)
+	if err != nil {
+		return 0, err
+	}
+	return out.ArgMax(), nil
+}
+
+// Params returns every trainable tensor in the network, in layer order.
+func (n *Network) Params() []*tensor.Tensor {
+	var ps []*tensor.Tensor
+	for _, l := range n.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// Grads returns every gradient accumulator, aligned with Params.
+func (n *Network) Grads() []*tensor.Tensor {
+	var gs []*tensor.Tensor
+	for _, l := range n.Layers {
+		gs = append(gs, l.Grads()...)
+	}
+	return gs
+}
+
+// ZeroGrads clears all gradient accumulators.
+func (n *Network) ZeroGrads() {
+	for _, g := range n.Grads() {
+		g.Zero()
+	}
+}
+
+// ParamCount returns the total number of trainable scalars.
+func (n *Network) ParamCount() int {
+	total := 0
+	for _, p := range n.Params() {
+		total += p.Len()
+	}
+	return total
+}
+
+// ParamLayer pairs a layer index with its parameter tensors; the fault
+// injector uses this to target "layer k" the way PyTorchFI does.
+type ParamLayer struct {
+	Index  int // position among parameterised layers (0-based)
+	Name   string
+	Params []*tensor.Tensor
+}
+
+// ParamLayers lists the layers that carry trainable parameters, in network
+// order. Layer 0 is the first parameterised layer, matching the paper's
+// "inject into layer 1" convention up to the off-by-one of their tool.
+func (n *Network) ParamLayers() []ParamLayer {
+	var out []ParamLayer
+	idx := 0
+	for _, l := range n.Layers {
+		if ps := l.Params(); len(ps) > 0 {
+			out = append(out, ParamLayer{Index: idx, Name: l.Name(), Params: ps})
+			idx++
+		}
+	}
+	return out
+}
+
+// Softmax converts logits to a probability vector (numerically stabilised).
+func Softmax(logits *tensor.Tensor) *tensor.Tensor {
+	out := tensor.New(logits.Shape...)
+	maxv := logits.Data[0]
+	for _, v := range logits.Data[1:] {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	var sum float64
+	for i, v := range logits.Data {
+		e := math.Exp(float64(v - maxv))
+		out.Data[i] = float32(e)
+		sum += e
+	}
+	inv := float32(1 / sum)
+	for i := range out.Data {
+		out.Data[i] *= inv
+	}
+	return out
+}
+
+// ErrBadLabel is returned when a class label is outside the logit range.
+var ErrBadLabel = errors.New("nn: label out of range")
+
+// SoftmaxCrossEntropy returns the cross-entropy loss for one sample and the
+// gradient of the loss w.r.t. the logits.
+func SoftmaxCrossEntropy(logits *tensor.Tensor, label int) (float64, *tensor.Tensor, error) {
+	if label < 0 || label >= logits.Len() {
+		return 0, nil, fmt.Errorf("%w: %d with %d classes", ErrBadLabel, label, logits.Len())
+	}
+	probs := Softmax(logits)
+	p := float64(probs.Data[label])
+	if p < 1e-12 {
+		p = 1e-12
+	}
+	loss := -math.Log(p)
+	grad := probs // reuse: grad = probs - onehot(label)
+	grad.Data[label]--
+	return loss, grad, nil
+}
+
+// SGD is stochastic gradient descent with classical momentum and optional L2
+// weight decay, the optimiser the paper's training setup uses.
+type SGD struct {
+	LR          float64
+	Momentum    float64
+	WeightDecay float64
+
+	velocity map[*tensor.Tensor]*tensor.Tensor
+}
+
+// NewSGD returns an optimiser with the given learning rate and momentum.
+func NewSGD(lr, momentum float64) *SGD {
+	return &SGD{LR: lr, Momentum: momentum, velocity: make(map[*tensor.Tensor]*tensor.Tensor)}
+}
+
+// Step applies one update to every parameter given its accumulated gradient
+// scaled by 1/batchSize, then the caller should zero the gradients.
+func (o *SGD) Step(params, grads []*tensor.Tensor, batchSize int) error {
+	if len(params) != len(grads) {
+		return fmt.Errorf("nn: %d params but %d grads", len(params), len(grads))
+	}
+	if batchSize <= 0 {
+		return fmt.Errorf("nn: non-positive batch size %d", batchSize)
+	}
+	scale := float32(1 / float64(batchSize))
+	lr := float32(o.LR)
+	mom := float32(o.Momentum)
+	wd := float32(o.WeightDecay)
+	for i, p := range params {
+		g := grads[i]
+		if p.Len() != g.Len() {
+			return fmt.Errorf("nn: param %d size %d, grad size %d", i, p.Len(), g.Len())
+		}
+		v, ok := o.velocity[p]
+		if !ok {
+			v = tensor.New(p.Shape...)
+			o.velocity[p] = v
+		}
+		for j := range p.Data {
+			step := g.Data[j]*scale + wd*p.Data[j]
+			v.Data[j] = mom*v.Data[j] - lr*step
+			p.Data[j] += v.Data[j]
+		}
+	}
+	return nil
+}
+
+// Sample is one labelled training example.
+type Sample struct {
+	X     *tensor.Tensor
+	Label int
+}
+
+// TrainBatch accumulates gradients over a mini-batch and applies one
+// optimiser step. It returns the mean loss over the batch.
+func (n *Network) TrainBatch(batch []Sample, opt *SGD) (float64, error) {
+	if len(batch) == 0 {
+		return 0, errors.New("nn: empty batch")
+	}
+	n.ZeroGrads()
+	var totalLoss float64
+	for _, s := range batch {
+		out, err := n.Forward(s.X, true)
+		if err != nil {
+			return 0, err
+		}
+		loss, grad, err := SoftmaxCrossEntropy(out, s.Label)
+		if err != nil {
+			return 0, err
+		}
+		totalLoss += loss
+		if err := n.Backward(grad); err != nil {
+			return 0, err
+		}
+	}
+	if err := opt.Step(n.Params(), n.Grads(), len(batch)); err != nil {
+		return 0, err
+	}
+	return totalLoss / float64(len(batch)), nil
+}
+
+// Accuracy evaluates top-1 accuracy over a sample set.
+func (n *Network) Accuracy(samples []Sample) (float64, error) {
+	if len(samples) == 0 {
+		return 0, errors.New("nn: empty evaluation set")
+	}
+	correct := 0
+	for _, s := range samples {
+		pred, err := n.Predict(s.X)
+		if err != nil {
+			return 0, err
+		}
+		if pred == s.Label {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(samples)), nil
+}
+
+// ErrorSet returns the indices of samples the network misclassifies; the
+// reliability package intersects these sets to estimate the error-dependency
+// factor α (Eq. 8 of the paper).
+func (n *Network) ErrorSet(samples []Sample) (map[int]bool, error) {
+	errs := make(map[int]bool)
+	for i, s := range samples {
+		pred, err := n.Predict(s.X)
+		if err != nil {
+			return nil, err
+		}
+		if pred != s.Label {
+			errs[i] = true
+		}
+	}
+	return errs, nil
+}

@@ -1,0 +1,264 @@
+package petri
+
+import (
+	"fmt"
+	"math"
+)
+
+// maxCTMCStates bounds the tangible state space of the exact solver.
+const maxCTMCStates = 20_000
+
+// maxVanishingDepth bounds immediate-firing recursion during vanishing
+// marking elimination.
+const maxVanishingDepth = 10_000
+
+// CTMCResult is the exact steady-state solution of a GSPN (a net without
+// deterministic transitions).
+type CTMCResult struct {
+	// States are the reachable tangible markings.
+	States []Marking
+	// Pi are the steady-state probabilities aligned with States.
+	Pi []float64
+	// Index maps Marking.Key() to the position in States.
+	Index map[string]int
+}
+
+// Probability sums steady-state probability over markings satisfying pred.
+func (r *CTMCResult) Probability(pred func(Marking) bool) float64 {
+	var total float64
+	for i, m := range r.States {
+		if pred(m) {
+			total += r.Pi[i]
+		}
+	}
+	return total
+}
+
+// ExpectedReward computes the steady-state expectation of a reward function,
+// i.e. Eq. 3 of the paper with R(m) as the per-state reward.
+func (r *CTMCResult) ExpectedReward(reward func(Marking) float64) float64 {
+	var total float64
+	for i, m := range r.States {
+		total += r.Pi[i] * reward(m)
+	}
+	return total
+}
+
+// SolveCTMC computes the exact steady-state distribution of a net whose
+// timed transitions are all exponential. Immediate transitions are allowed;
+// vanishing markings are eliminated on the fly by following weighted
+// immediate firings to the tangible successors. Deterministic transitions
+// are rejected — use Simulate or ErlangApproximation for those.
+func SolveCTMC(net *Net) (*CTMCResult, error) {
+	if err := net.Validate(); err != nil {
+		return nil, err
+	}
+	if net.HasDeterministic() {
+		return nil, fmt.Errorf("petri: net %q has deterministic transitions; SolveCTMC handles only exponential/immediate nets", net.Name())
+	}
+
+	// resolveTangible returns the distribution over tangible markings
+	// reached from m by firing immediate transitions (possibly none).
+	var resolveTangible func(m Marking, prob float64, depth int, acc map[string]float64, reps map[string]Marking) error
+	resolveTangible = func(m Marking, prob float64, depth int, acc map[string]float64, reps map[string]Marking) error {
+		if depth > maxVanishingDepth {
+			return fmt.Errorf("petri: immediate-transition livelock in marking %s", m.Key())
+		}
+		enabled := net.EnabledImmediate(m)
+		if len(enabled) == 0 {
+			key := m.Key()
+			acc[key] += prob
+			if _, ok := reps[key]; !ok {
+				reps[key] = m
+			}
+			return nil
+		}
+		var totalW float64
+		weights := make([]float64, len(enabled))
+		for i, t := range enabled {
+			w := t.Weight(m)
+			if w < 0 {
+				w = 0
+			}
+			weights[i] = w
+			totalW += w
+		}
+		if totalW <= 0 {
+			// All-zero weights: uniform choice, matching the simulator.
+			for i := range weights {
+				weights[i] = 1
+			}
+			totalW = float64(len(enabled))
+		}
+		for i, t := range enabled {
+			if weights[i] == 0 {
+				continue
+			}
+			next, err := net.Fire(m, t)
+			if err != nil {
+				return err
+			}
+			if err := resolveTangible(next, prob*weights[i]/totalW, depth+1, acc, reps); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	// Resolve the initial marking to tangible starting states.
+	initialDist := make(map[string]float64)
+	reps := make(map[string]Marking)
+	if err := resolveTangible(net.InitialMarking(), 1, 0, initialDist, reps); err != nil {
+		return nil, err
+	}
+
+	res := &CTMCResult{Index: make(map[string]int)}
+	addState := func(m Marking) int {
+		key := m.Key()
+		if i, ok := res.Index[key]; ok {
+			return i
+		}
+		i := len(res.States)
+		res.Index[key] = i
+		res.States = append(res.States, m.Clone())
+		return i
+	}
+	for key := range initialDist {
+		addState(reps[key])
+	}
+
+	// Breadth-first exploration of the tangible reachability graph,
+	// recording rate entries (from, to, rate).
+	type rateEntry struct {
+		from, to int
+		rate     float64
+	}
+	var rates []rateEntry
+	for head := 0; head < len(res.States); head++ {
+		if len(res.States) > maxCTMCStates {
+			return nil, fmt.Errorf("petri: tangible state space exceeds %d states", maxCTMCStates)
+		}
+		m := res.States[head]
+		for _, t := range net.EnabledTimed(m) {
+			mean := t.Delay(m)
+			if mean <= 0 || math.IsInf(mean, 0) || math.IsNaN(mean) {
+				return nil, fmt.Errorf("petri: transition %q has invalid mean delay %v in marking %s", t.Name, mean, m.Key())
+			}
+			next, err := net.Fire(m, t)
+			if err != nil {
+				return nil, err
+			}
+			dist := make(map[string]float64)
+			distReps := make(map[string]Marking)
+			if err := resolveTangible(next, 1, 0, dist, distReps); err != nil {
+				return nil, err
+			}
+			for key, prob := range dist {
+				to := addState(distReps[key])
+				rates = append(rates, rateEntry{from: head, to: to, rate: prob / mean})
+			}
+		}
+	}
+
+	nStates := len(res.States)
+	if nStates == 0 {
+		return nil, fmt.Errorf("petri: net %q has no tangible states", net.Name())
+	}
+	if nStates == 1 {
+		res.Pi = []float64{1}
+		return res, nil
+	}
+
+	// Build the generator Q and solve πQ = 0, Σπ = 1 by Gaussian
+	// elimination on Qᵀ with the last equation replaced by normalisation.
+	q := make([][]float64, nStates)
+	for i := range q {
+		q[i] = make([]float64, nStates)
+	}
+	for _, e := range rates {
+		if e.from == e.to {
+			continue // self-loops do not affect the steady state
+		}
+		q[e.from][e.to] += e.rate
+	}
+	for i := 0; i < nStates; i++ {
+		var sum float64
+		for j := 0; j < nStates; j++ {
+			if j != i {
+				sum += q[i][j]
+			}
+		}
+		q[i][i] = -sum
+	}
+	a := make([][]float64, nStates)
+	b := make([]float64, nStates)
+	for c := 0; c < nStates; c++ {
+		a[c] = make([]float64, nStates)
+		for r := 0; r < nStates; r++ {
+			a[c][r] = q[r][c] // transpose
+		}
+	}
+	for j := 0; j < nStates; j++ {
+		a[nStates-1][j] = 1
+	}
+	b[nStates-1] = 1
+
+	pi, err := solveLinear(a, b)
+	if err != nil {
+		return nil, fmt.Errorf("petri: steady-state solve failed: %w", err)
+	}
+	// Clean tiny negative round-off and renormalise.
+	var total float64
+	for i, v := range pi {
+		if v < 0 && v > -1e-9 {
+			pi[i] = 0
+			v = 0
+		}
+		if v < 0 {
+			return nil, fmt.Errorf("petri: negative steady-state probability %v for state %s", v, res.States[i].Key())
+		}
+		total += v
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("petri: degenerate steady-state solution")
+	}
+	for i := range pi {
+		pi[i] /= total
+	}
+	res.Pi = pi
+	return res, nil
+}
+
+// solveLinear solves a·x = b by Gaussian elimination with partial pivoting.
+// a is modified in place.
+func solveLinear(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	for col := 0; col < n; col++ {
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(a[pivot][col]) < 1e-14 {
+			return nil, fmt.Errorf("singular matrix at column %d", col)
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		b[col], b[pivot] = b[pivot], b[col]
+		for r := 0; r < n; r++ {
+			if r == col || a[r][col] == 0 {
+				continue
+			}
+			f := a[r][col] / a[col][col]
+			for c := col; c < n; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	x := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = b[i] / a[i][i]
+	}
+	return x, nil
+}

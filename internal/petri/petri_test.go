@@ -1,0 +1,495 @@
+package petri
+
+import (
+	"math"
+	"testing"
+
+	"mvml/internal/xrand"
+)
+
+// buildCycle returns a 3-state cycle net P1 -> P2 -> P3 -> P1 with
+// exponential transitions of the given mean delays.
+func buildCycle(d1, d2, d3 float64) (*Net, [3]*Place) {
+	n := NewNet("cycle")
+	p1 := n.AddPlace("P1", 1)
+	p2 := n.AddPlace("P2", 0)
+	p3 := n.AddPlace("P3", 0)
+	t1 := n.AddExponential("T1", d1)
+	t2 := n.AddExponential("T2", d2)
+	t3 := n.AddExponential("T3", d3)
+	n.AddInput(p1, t1, 1)
+	n.AddOutput(t1, p2, 1)
+	n.AddInput(p2, t2, 1)
+	n.AddOutput(t2, p3, 1)
+	n.AddInput(p3, t3, 1)
+	n.AddOutput(t3, p1, 1)
+	return n, [3]*Place{p1, p2, p3}
+}
+
+func TestValidateCatchesErrors(t *testing.T) {
+	empty := NewNet("empty")
+	if err := empty.Validate(); err == nil {
+		t.Fatal("expected error for empty net")
+	}
+
+	n := NewNet("dup")
+	n.AddPlace("P", 1)
+	n.AddPlace("P", 0)
+	n.AddExponential("T", 1)
+	if err := n.Validate(); err == nil {
+		t.Fatal("expected error for duplicate place name")
+	}
+
+	n2 := NewNet("badweight")
+	p := n2.AddPlace("P", 1)
+	tr := n2.AddExponential("T", 1)
+	n2.AddInput(p, tr, 0)
+	if err := n2.Validate(); err == nil {
+		t.Fatal("expected error for zero arc weight")
+	}
+
+	n3 := NewNet("baddelay")
+	p3 := n3.AddPlace("P", 1)
+	tr3 := n3.AddExponential("T", -1)
+	n3.AddInput(p3, tr3, 1)
+	if err := n3.Validate(); err == nil {
+		t.Fatal("expected error for negative delay")
+	}
+}
+
+func TestFireMovesTokens(t *testing.T) {
+	n, places := buildCycle(1, 1, 1)
+	m := n.InitialMarking()
+	if m.Count(places[0]) != 1 || m.Count(places[1]) != 0 {
+		t.Fatalf("unexpected initial marking %v", m)
+	}
+	next, err := n.Fire(m, n.Transitions()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next.Count(places[0]) != 0 || next.Count(places[1]) != 1 {
+		t.Fatalf("marking after fire: %v", next)
+	}
+	// Original marking untouched.
+	if m.Count(places[0]) != 1 {
+		t.Fatal("Fire mutated the source marking")
+	}
+	// Firing a disabled transition errors.
+	if _, err := n.Fire(next, n.Transitions()[0]); err == nil {
+		t.Fatal("expected error firing disabled transition")
+	}
+}
+
+func TestMarkingKeyDistinct(t *testing.T) {
+	a := Marking{1, 2, 3}
+	b := Marking{12, 3}
+	if a.Key() == b.Key() {
+		t.Fatal("distinct markings share a key")
+	}
+	if a.Key() != a.Clone().Key() {
+		t.Fatal("clone changed the key")
+	}
+}
+
+func TestInhibitorArcDisables(t *testing.T) {
+	n := NewNet("inhib")
+	p := n.AddPlace("P", 1)
+	blocker := n.AddPlace("B", 1)
+	tr := n.AddExponential("T", 1)
+	n.AddInput(p, tr, 1)
+	n.AddInhibitor(blocker, tr, 1)
+	if tr.EnabledIn(n.InitialMarking()) {
+		t.Fatal("transition should be inhibited")
+	}
+	m := n.InitialMarking()
+	m[blocker.Index()] = 0
+	if !tr.EnabledIn(m) {
+		t.Fatal("transition should be enabled once the inhibitor clears")
+	}
+}
+
+func TestGuardDisables(t *testing.T) {
+	n := NewNet("guard")
+	p := n.AddPlace("P", 1)
+	flag := n.AddPlace("F", 0)
+	tr := n.AddExponential("T", 1)
+	n.AddInput(p, tr, 1)
+	tr.SetGuard(func(m Marking) bool { return m.Count(flag) > 0 })
+	if tr.EnabledIn(n.InitialMarking()) {
+		t.Fatal("guard should disable the transition")
+	}
+	m := n.InitialMarking()
+	m[flag.Index()] = 1
+	if !tr.EnabledIn(m) {
+		t.Fatal("transition should be enabled when the guard holds")
+	}
+}
+
+func TestCTMCCycleMatchesAnalytic(t *testing.T) {
+	// Steady-state occupancy of a cycle is proportional to the mean delay
+	// of the outgoing transition.
+	n, places := buildCycle(2, 3, 5)
+	res, err := SolveCTMC(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.2, 0.3, 0.5}
+	for i, p := range places {
+		got := res.Probability(func(m Marking) bool { return m.Count(p) == 1 })
+		if math.Abs(got-want[i]) > 1e-9 {
+			t.Errorf("state %d probability %v, want %v", i, got, want[i])
+		}
+	}
+}
+
+func TestCTMCExpectedReward(t *testing.T) {
+	n, places := buildCycle(1, 1, 2)
+	res, err := SolveCTMC(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reward 1 in state 3 (prob 0.5), 0 elsewhere.
+	got := res.ExpectedReward(func(m Marking) float64 {
+		if m.Count(places[2]) == 1 {
+			return 1
+		}
+		return 0
+	})
+	if math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("expected reward %v, want 0.5", got)
+	}
+}
+
+func TestCTMCRejectsDeterministic(t *testing.T) {
+	n := NewNet("det")
+	p := n.AddPlace("P", 1)
+	q := n.AddPlace("Q", 0)
+	tr := n.AddDeterministic("T", 1)
+	n.AddInput(p, tr, 1)
+	n.AddOutput(tr, q, 1)
+	back := n.AddExponential("B", 1)
+	n.AddInput(q, back, 1)
+	n.AddOutput(back, p, 1)
+	if _, err := SolveCTMC(n); err == nil {
+		t.Fatal("expected rejection of deterministic transitions")
+	}
+}
+
+func TestCTMCImmediateVanishingElimination(t *testing.T) {
+	// P1 --exp--> Pv, where Pv is vanishing: two immediate transitions
+	// with weights 1 and 3 route to A or B; A and B return to P1 with
+	// different mean delays. Time in A vs B must reflect both the branch
+	// probabilities (1/4, 3/4) and the sojourn times.
+	n := NewNet("branch")
+	p1 := n.AddPlace("P1", 1)
+	pv := n.AddPlace("Pv", 0)
+	pa := n.AddPlace("A", 0)
+	pb := n.AddPlace("B", 0)
+
+	leave := n.AddExponential("leave", 1)
+	n.AddInput(p1, leave, 1)
+	n.AddOutput(leave, pv, 1)
+
+	toA := n.AddImmediate("toA")
+	toA.SetWeight(func(Marking) float64 { return 1 })
+	n.AddInput(pv, toA, 1)
+	n.AddOutput(toA, pa, 1)
+
+	toB := n.AddImmediate("toB")
+	toB.SetWeight(func(Marking) float64 { return 3 })
+	n.AddInput(pv, toB, 1)
+	n.AddOutput(toB, pb, 1)
+
+	backA := n.AddExponential("backA", 2)
+	n.AddInput(pa, backA, 1)
+	n.AddOutput(backA, p1, 1)
+	backB := n.AddExponential("backB", 4)
+	n.AddInput(pb, backB, 1)
+	n.AddOutput(backB, p1, 1)
+
+	res, err := SolveCTMC(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mean cycle time = 1 + 0.25*2 + 0.75*4 = 4.5.
+	wantP1 := 1.0 / 4.5
+	wantA := 0.25 * 2 / 4.5
+	wantB := 0.75 * 4 / 4.5
+	gotP1 := res.Probability(func(m Marking) bool { return m.Count(p1) == 1 })
+	gotA := res.Probability(func(m Marking) bool { return m.Count(pa) == 1 })
+	gotB := res.Probability(func(m Marking) bool { return m.Count(pb) == 1 })
+	if math.Abs(gotP1-wantP1) > 1e-9 || math.Abs(gotA-wantA) > 1e-9 || math.Abs(gotB-wantB) > 1e-9 {
+		t.Fatalf("probabilities (%v, %v, %v), want (%v, %v, %v)", gotP1, gotA, gotB, wantP1, wantA, wantB)
+	}
+	// No vanishing marking may appear among the states.
+	for _, m := range res.States {
+		if m.Count(pv) != 0 {
+			t.Fatal("vanishing marking survived elimination")
+		}
+	}
+}
+
+func TestCTMCPriorityBeatsWeight(t *testing.T) {
+	// Two immediates from the same place; the higher-priority one always
+	// wins regardless of weights.
+	n := NewNet("prio")
+	p1 := n.AddPlace("P1", 1)
+	pv := n.AddPlace("Pv", 0)
+	pa := n.AddPlace("A", 0)
+	pb := n.AddPlace("B", 0)
+
+	leave := n.AddExponential("leave", 1)
+	n.AddInput(p1, leave, 1)
+	n.AddOutput(leave, pv, 1)
+
+	toA := n.AddImmediate("toA").SetPriority(5)
+	n.AddInput(pv, toA, 1)
+	n.AddOutput(toA, pa, 1)
+	toB := n.AddImmediate("toB")
+	toB.SetWeight(func(Marking) float64 { return 1000 })
+	n.AddInput(pv, toB, 1)
+	n.AddOutput(toB, pb, 1)
+
+	backA := n.AddExponential("backA", 1)
+	n.AddInput(pa, backA, 1)
+	n.AddOutput(backA, p1, 1)
+	backB := n.AddExponential("backB", 1)
+	n.AddInput(pb, backB, 1)
+	n.AddOutput(backB, p1, 1)
+
+	res, err := SolveCTMC(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Probability(func(m Marking) bool { return m.Count(pb) == 1 }); got != 0 {
+		t.Fatalf("low-priority branch has probability %v, want 0", got)
+	}
+}
+
+func TestSimulateCycleMatchesCTMC(t *testing.T) {
+	n, places := buildCycle(2, 3, 5)
+	res, err := Simulate(n, SimConfig{Horizon: 50_000, Warmup: 500}, nil, xrand.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.2, 0.3, 0.5}
+	for i, p := range places {
+		got := res.Probability(func(m Marking) bool { return m.Count(p) == 1 })
+		if math.Abs(got-want[i]) > 0.01 {
+			t.Errorf("simulated occupancy %v, want %v", got, want[i])
+		}
+	}
+}
+
+func TestSimulateRewardCI(t *testing.T) {
+	n, places := buildCycle(1, 1, 2)
+	reward := func(m Marking) float64 {
+		if m.Count(places[2]) == 1 {
+			return 1
+		}
+		return 0
+	}
+	res, err := Simulate(n, SimConfig{Horizon: 20_000, Warmup: 100}, reward, xrand.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Reward-0.5) > 0.02 {
+		t.Fatalf("reward %v, want ≈0.5", res.Reward)
+	}
+	if !res.RewardCI.Contains(res.Reward) {
+		t.Fatalf("CI %v does not contain the point estimate %v", res.RewardCI, res.Reward)
+	}
+	if res.RewardCI.Hi-res.RewardCI.Lo > 0.1 {
+		t.Fatalf("CI %v too wide", res.RewardCI)
+	}
+}
+
+func TestSimulateDeterministicDutyCycle(t *testing.T) {
+	// P1 --det(8)--> P2 --exp(2)--> P1: long-run fraction of time in P1 is
+	// 8/(8+2) = 0.8.
+	n := NewNet("duty")
+	p1 := n.AddPlace("P1", 1)
+	p2 := n.AddPlace("P2", 0)
+	on := n.AddDeterministic("on", 8)
+	n.AddInput(p1, on, 1)
+	n.AddOutput(on, p2, 1)
+	off := n.AddExponential("off", 2)
+	n.AddInput(p2, off, 1)
+	n.AddOutput(off, p1, 1)
+
+	res, err := Simulate(n, SimConfig{Horizon: 40_000, Warmup: 100}, nil, xrand.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.Probability(func(m Marking) bool { return m.Count(p1) == 1 })
+	if math.Abs(got-0.8) > 0.01 {
+		t.Fatalf("duty cycle %v, want 0.8", got)
+	}
+}
+
+func TestErlangApproximationMatchesDeterministic(t *testing.T) {
+	n := NewNet("duty")
+	p1 := n.AddPlace("P1", 1)
+	p2 := n.AddPlace("P2", 0)
+	on := n.AddDeterministic("on", 8)
+	n.AddInput(p1, on, 1)
+	n.AddOutput(on, p2, 1)
+	off := n.AddExponential("off", 2)
+	n.AddInput(p2, off, 1)
+	n.AddOutput(off, p1, 1)
+
+	approx, err := ErlangApproximation(n, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SolveCTMC(approx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The ON countdown is spread across P1 and the phase places, so check
+	// the OFF state: occupancy of P2 = E[off]/(E[on]+E[off]) = 0.2. For
+	// this cyclic net the mean-value argument is exact for any stage
+	// count. Original place indices survive the transformation.
+	gotOff := res.Probability(func(m Marking) bool { return m[p2.Index()] == 1 })
+	if math.Abs(gotOff-0.2) > 1e-6 {
+		t.Fatalf("Erlang-approximated OFF occupancy %v, want 0.2", gotOff)
+	}
+	// And the ON side (everything not in P2) complements it.
+	gotOn := res.Probability(func(m Marking) bool { return m[p2.Index()] == 0 })
+	if math.Abs(gotOn-0.8) > 1e-6 {
+		t.Fatalf("Erlang-approximated ON occupancy %v, want 0.8", gotOn)
+	}
+	_ = p1
+}
+
+func TestErlangApproximationStageCount(t *testing.T) {
+	n := NewNet("d")
+	p := n.AddPlace("P", 1)
+	q := n.AddPlace("Q", 0)
+	tr := n.AddDeterministic("T", 4)
+	n.AddInput(p, tr, 1)
+	n.AddOutput(tr, q, 1)
+	back := n.AddExponential("B", 1)
+	n.AddInput(q, back, 1)
+	n.AddOutput(back, p, 1)
+
+	approx, err := ErlangApproximation(n, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5 stages -> 5 exponential transitions replacing T, plus B.
+	if got := len(approx.Transitions()); got != 6 {
+		t.Fatalf("%d transitions after transformation, want 6", got)
+	}
+	// 4 intermediate phase places plus the 2 originals.
+	if got := len(approx.Places()); got != 6 {
+		t.Fatalf("%d places after transformation, want 6", got)
+	}
+	if _, err := ErlangApproximation(n, 0); err == nil {
+		t.Fatal("expected error for zero stages")
+	}
+}
+
+func TestSimulateAbsorbingMarking(t *testing.T) {
+	n := NewNet("absorbing")
+	p := n.AddPlace("P", 1)
+	q := n.AddPlace("Q", 0)
+	tr := n.AddExponential("T", 1)
+	n.AddInput(p, tr, 1)
+	n.AddOutput(tr, q, 1)
+
+	res, err := Simulate(n, SimConfig{Horizon: 1000, Warmup: 0}, nil, xrand.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.Probability(func(m Marking) bool { return m.Count(q) == 1 })
+	if got < 0.99 {
+		t.Fatalf("absorbing state occupancy %v, want ≈1", got)
+	}
+}
+
+func TestSimulateImmediateLivelockDetected(t *testing.T) {
+	n := NewNet("livelock")
+	p := n.AddPlace("P", 1)
+	q := n.AddPlace("Q", 0)
+	ab := n.AddImmediate("ab")
+	n.AddInput(p, ab, 1)
+	n.AddOutput(ab, q, 1)
+	ba := n.AddImmediate("ba")
+	n.AddInput(q, ba, 1)
+	n.AddOutput(ba, p, 1)
+
+	if _, err := Simulate(n, SimConfig{Horizon: 10}, nil, xrand.New(1)); err == nil {
+		t.Fatal("expected livelock detection")
+	}
+	if _, err := SolveCTMC(n); err == nil {
+		t.Fatal("expected livelock detection in CTMC solver")
+	}
+}
+
+func TestSimulateConfigValidation(t *testing.T) {
+	n, _ := buildCycle(1, 1, 1)
+	if _, err := Simulate(n, SimConfig{Horizon: -1}, nil, xrand.New(1)); err == nil {
+		t.Fatal("expected error for negative horizon")
+	}
+	if _, err := Simulate(n, SimConfig{Horizon: 10}, nil, nil); err == nil {
+		t.Fatal("expected error for nil rng")
+	}
+}
+
+func TestSimulateDeterministicEnablingMemory(t *testing.T) {
+	// A deterministic transition with delay 10 races an exponential with
+	// mean 1 that does NOT disable it (separate token). With enabling
+	// memory, the deterministic transition still fires every 10 time
+	// units despite the frequent exponential events. The cycle P1->P2->P1
+	// with det(10) and exp(0.5) back gives occupancy ≈ 10/10.5.
+	n := NewNet("memory")
+	p1 := n.AddPlace("P1", 1)
+	p2 := n.AddPlace("P2", 0)
+	noise := n.AddPlace("N", 1)
+
+	det := n.AddDeterministic("det", 10)
+	n.AddInput(p1, det, 1)
+	n.AddOutput(det, p2, 1)
+	back := n.AddExponential("back", 0.5)
+	n.AddInput(p2, back, 1)
+	n.AddOutput(back, p1, 1)
+	// Self-loop exponential generating many events while det counts down.
+	tick := n.AddExponential("tick", 1)
+	n.AddInput(noise, tick, 1)
+	n.AddOutput(tick, noise, 1)
+
+	res, err := Simulate(n, SimConfig{Horizon: 30_000, Warmup: 100}, nil, xrand.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.Probability(func(m Marking) bool { return m.Count(p1) == 1 })
+	want := 10.0 / 10.5
+	if math.Abs(got-want) > 0.01 {
+		t.Fatalf("occupancy %v, want %v: deterministic clock was reset by unrelated events", got, want)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Immediate.String() != "immediate" || Exponential.String() != "exponential" || Deterministic.String() != "deterministic" {
+		t.Fatal("Kind.String broken")
+	}
+}
+
+func BenchmarkSimulateCycle(b *testing.B) {
+	n, _ := buildCycle(1, 2, 3)
+	for i := 0; i < b.N; i++ {
+		if _, err := Simulate(n, SimConfig{Horizon: 1000, Warmup: 10}, nil, xrand.New(uint64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolveCTMCCycle(b *testing.B) {
+	n, _ := buildCycle(1, 2, 3)
+	for i := 0; i < b.N; i++ {
+		if _, err := SolveCTMC(n); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

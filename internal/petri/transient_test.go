@@ -1,0 +1,131 @@
+package petri
+
+import (
+	"math"
+	"testing"
+
+	"mvml/internal/xrand"
+)
+
+func TestTransientExponentialDecay(t *testing.T) {
+	// P1 --exp(mean 2)--> P2 (absorbing). E[1{P1}(t)] = e^{-t/2}.
+	n := NewNet("decay")
+	p1 := n.AddPlace("P1", 1)
+	p2 := n.AddPlace("P2", 0)
+	tr := n.AddExponential("T", 2)
+	n.AddInput(p1, tr, 1)
+	n.AddOutput(tr, p2, 1)
+
+	reward := func(m Marking) float64 {
+		if m.Count(p1) == 1 {
+			return 1
+		}
+		return 0
+	}
+	points, err := TransientRewards(n, TransientConfig{
+		Times:        []float64{0.5, 1, 2, 4},
+		Replications: 6000,
+	}, reward, xrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pt := range points {
+		want := math.Exp(-pt.Time / 2)
+		if math.Abs(pt.Reward.Mean-want) > 0.02 {
+			t.Errorf("E[R(%v)] = %.4f, want %.4f", pt.Time, pt.Reward.Mean, want)
+		}
+		if !pt.Reward.Contains(pt.Reward.Mean) {
+			t.Error("CI does not contain its own mean")
+		}
+	}
+}
+
+func TestTransientDeterministicIsExactBeforeFiring(t *testing.T) {
+	// P1 --det(8)--> P2: the token provably stays in P1 until exactly t=8.
+	n := NewNet("det")
+	p1 := n.AddPlace("P1", 1)
+	p2 := n.AddPlace("P2", 0)
+	tr := n.AddDeterministic("T", 8)
+	n.AddInput(p1, tr, 1)
+	n.AddOutput(tr, p2, 1)
+	back := n.AddExponential("B", 2)
+	n.AddInput(p2, back, 1)
+	n.AddOutput(back, p1, 1)
+
+	reward := func(m Marking) float64 {
+		if m.Count(p1) == 1 {
+			return 1
+		}
+		return 0
+	}
+	points, err := TransientRewards(n, TransientConfig{
+		Times:        []float64{4, 7.9, 8.5},
+		Replications: 400,
+	}, reward, xrand.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if points[0].Reward.Mean != 1 || points[1].Reward.Mean != 1 {
+		t.Fatalf("before the deterministic firing the reward must be exactly 1: %v, %v",
+			points[0].Reward.Mean, points[1].Reward.Mean)
+	}
+	if points[2].Reward.Mean >= 1 {
+		t.Fatalf("after t=8 some mass must have left P1: %v", points[2].Reward.Mean)
+	}
+}
+
+func TestTransientTimesSortedInOutput(t *testing.T) {
+	n, _ := buildCycle(1, 1, 1)
+	points, err := TransientRewards(n, TransientConfig{
+		Times:        []float64{5, 1, 3},
+		Replications: 50,
+	}, func(Marking) float64 { return 1 }, xrand.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if points[0].Time != 1 || points[1].Time != 3 || points[2].Time != 5 {
+		t.Fatalf("times not sorted: %v %v %v", points[0].Time, points[1].Time, points[2].Time)
+	}
+}
+
+func TestTransientValidation(t *testing.T) {
+	n, _ := buildCycle(1, 1, 1)
+	rw := func(Marking) float64 { return 1 }
+	if _, err := TransientRewards(n, TransientConfig{Times: nil}, rw, xrand.New(1)); err == nil {
+		t.Fatal("expected error for no times")
+	}
+	if _, err := TransientRewards(n, TransientConfig{Times: []float64{-1}}, rw, xrand.New(1)); err == nil {
+		t.Fatal("expected error for negative time")
+	}
+	if _, err := TransientRewards(n, TransientConfig{Times: []float64{1}}, nil, xrand.New(1)); err == nil {
+		t.Fatal("expected error for nil reward")
+	}
+	if _, err := TransientRewards(n, TransientConfig{Times: []float64{1}}, rw, nil); err == nil {
+		t.Fatal("expected error for nil rng")
+	}
+	if _, err := TransientRewards(n, TransientConfig{Times: []float64{1}, Replications: 1}, rw, xrand.New(1)); err == nil {
+		t.Fatal("expected error for 1 replication")
+	}
+}
+
+func TestTransientAbsorbingObservesTail(t *testing.T) {
+	// After absorption every later observation still gets a sample.
+	n := NewNet("absorb")
+	p := n.AddPlace("P", 1)
+	q := n.AddPlace("Q", 0)
+	tr := n.AddExponential("T", 0.1)
+	n.AddInput(p, tr, 1)
+	n.AddOutput(tr, q, 1)
+	points, err := TransientRewards(n, TransientConfig{
+		Times:        []float64{1, 10, 100},
+		Replications: 100,
+	}, func(m Marking) float64 { return float64(m.Count(q)) }, xrand.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pt := range points {
+		if pt.Reward.Mean < 0.99 {
+			t.Fatalf("absorbed mass missing at t=%v: %v", pt.Time, pt.Reward.Mean)
+		}
+	}
+}

@@ -1,0 +1,256 @@
+package reliability
+
+import (
+	"fmt"
+
+	"mvml/internal/petri"
+	"mvml/internal/stats"
+	"mvml/internal/xrand"
+)
+
+// Model is a DSPN reliability model of an n-version ML system: the net of
+// the paper's Fig. 2 (reactive rejuvenation only) or Fig. 3 (with the
+// time-triggered proactive rejuvenation clock).
+type Model struct {
+	Net       *petri.Net
+	N         int
+	Params    Params
+	Proactive bool
+
+	// Module places (always present).
+	Pmh, Pmc, Pmf *petri.Place
+	// Proactive-rejuvenation places (nil without proactive rejuvenation).
+	Pmr, Prc, Ptr, Pac *petri.Place
+}
+
+// smallWeight is the epsilon the paper's Table I uses so that immediate
+// conflict weights never vanish.
+const smallWeight = 0.00001
+
+// NewModel builds the DSPN for an n-version system (1 <= n <= 3). With
+// proactive=false it is the net of Fig. 2; with proactive=true the
+// rejuvenation clock and trigger of Fig. 3 are added, with the guard
+// functions g1–g3 and weight functions w1/w2 of Table I.
+func NewModel(n int, params Params, proactive bool) (*Model, error) {
+	if n < 1 || n > 3 {
+		return nil, fmt.Errorf("reliability: model supports 1..3 modules, got %d", n)
+	}
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+
+	name := fmt.Sprintf("%d-version", n)
+	if proactive {
+		name += "-proactive"
+	}
+	net := petri.NewNet(name)
+	m := &Model{Net: net, N: n, Params: params, Proactive: proactive}
+
+	m.Pmh = net.AddPlace("Pmh", n)
+	m.Pmc = net.AddPlace("Pmc", 0)
+	m.Pmf = net.AddPlace("Pmf", 0)
+
+	// Tc: a healthy module is compromised (stays responsive).
+	tc := net.AddExponential("Tc", params.MeanTimeToCompromise)
+	net.AddInput(m.Pmh, tc, 1)
+	net.AddOutput(tc, m.Pmc, 1)
+
+	// Tf: a compromised module crashes (becomes non-functional).
+	tf := net.AddExponential("Tf", params.MeanTimeToFailure)
+	net.AddInput(m.Pmc, tf, 1)
+	net.AddOutput(tf, m.Pmf, 1)
+
+	// Tr: reactive rejuvenation restores a non-functional module.
+	tr := net.AddExponential("Tr", params.MeanReactiveRejuvenation)
+	net.AddInput(m.Pmf, tr, 1)
+	net.AddOutput(tr, m.Pmh, 1)
+
+	if !proactive {
+		return m, nil
+	}
+
+	m.Pmr = net.AddPlace("Pmr", 0)
+	m.Prc = net.AddPlace("Prc", 1)
+	m.Ptr = net.AddPlace("Ptr", 0)
+	m.Pac = net.AddPlace("Pac", 0)
+
+	pmh, pmc, pmf := m.Pmh, m.Pmc, m.Pmf
+	pmr, prc, ptr, pac := m.Pmr, m.Prc, m.Ptr, m.Pac
+
+	// Trc: the deterministic rejuvenation clock fires every 1/γ.
+	trc := net.AddDeterministic("Trc", params.RejuvenationInterval)
+	net.AddInput(prc, trc, 1)
+	net.AddOutput(trc, ptr, 1)
+
+	// Tac: registers a rejuvenation trigger (guard g1: #Ptr = 1). It does
+	// not consume the clock token; Trt (below, higher priority) returns
+	// the token to Prc as soon as a trigger or an ongoing rejuvenation
+	// exists, which also stops Tac from firing twice for one expiry.
+	tac := net.AddImmediate("Tac")
+	tac.SetGuard(func(mk petri.Marking) bool { return mk.Count(ptr) == 1 })
+	net.AddOutput(tac, pac, 1)
+
+	// Trt: resets the clock (guard g3: #Pmr + #Pac > 0).
+	trt := net.AddImmediate("Trt").SetPriority(10)
+	trt.SetGuard(func(mk petri.Marking) bool { return mk.Count(pmr)+mk.Count(pac) > 0 })
+	net.AddInput(ptr, trt, 1)
+	net.AddOutput(trt, prc, 1)
+
+	// Trj1: proactively rejuvenate a compromised module; Trj2: a healthy
+	// one. Guard g2 ((#Pmf + #Pmr) < 1) gives reactive rejuvenation
+	// precedence and serialises proactive rejuvenations; the inhibitor
+	// arcs from Pmf model the same precedence structurally.
+	g2 := func(mk petri.Marking) bool { return mk.Count(pmf)+mk.Count(pmr) < 1 }
+
+	trj1 := net.AddImmediate("Trj1")
+	trj1.SetGuard(g2)
+	trj1.SetWeight(func(mk petri.Marking) float64 {
+		c, h := mk.Count(pmc), mk.Count(pmh)
+		if c == 0 {
+			return smallWeight
+		}
+		return float64(c) / float64(c+h)
+	})
+	net.AddInput(pac, trj1, 1)
+	net.AddInput(pmc, trj1, 1)
+	net.AddOutput(trj1, pmr, 1)
+	net.AddInhibitor(pmf, trj1, 1)
+
+	trj2 := net.AddImmediate("Trj2")
+	trj2.SetGuard(g2)
+	trj2.SetWeight(func(mk petri.Marking) float64 {
+		c, h := mk.Count(pmc), mk.Count(pmh)
+		if h == 0 {
+			return smallWeight
+		}
+		return float64(h) / float64(c+h)
+	})
+	net.AddInput(pac, trj2, 1)
+	net.AddInput(pmh, trj2, 1)
+	net.AddOutput(trj2, pmr, 1)
+	net.AddInhibitor(pmf, trj2, 1)
+
+	// Trj: the proactive rejuvenation itself takes 1/μr and returns the
+	// module to the healthy state.
+	trj := net.AddExponential("Trj", params.MeanProactiveRejuvenation)
+	net.AddInput(pmr, trj, 1)
+	net.AddOutput(trj, pmh, 1)
+
+	return m, nil
+}
+
+// StateOf maps a marking to the (i, j, k) system state. Modules being
+// proactively rejuvenated (Pmr) count as non-functional, as the paper notes
+// that a module cannot process sensor data while rejuvenating.
+func (m *Model) StateOf(mk petri.Marking) State {
+	i := mk.Count(m.Pmh)
+	j := mk.Count(m.Pmc)
+	return State{Healthy: i, Compromised: j, NonFunctional: m.N - i - j}
+}
+
+// Reward returns the reliability reward function over markings, for use
+// with the petri solvers.
+func (m *Model) Reward() func(petri.Marking) float64 {
+	return func(mk petri.Marking) float64 {
+		r, err := m.Params.StateReliability(m.StateOf(mk))
+		if err != nil {
+			return 0
+		}
+		return r
+	}
+}
+
+// Result is a solved reliability model.
+type Result struct {
+	// Expected is E[R_sys] (Eq. 3).
+	Expected float64
+	// CI is the batch-means confidence interval (simulation only;
+	// zero-valued for exact solutions).
+	CI stats.Interval
+	// StateProbs is the steady-state probability of each (i, j, k) state.
+	StateProbs map[State]float64
+	// Method records how the result was produced.
+	Method string
+}
+
+// SolveExact computes the exact steady-state reliability via the embedded
+// CTMC. It only applies to models without proactive rejuvenation (the
+// deterministic clock makes the proactive net a true DSPN); use
+// SolveSimulation or SolveErlang there.
+func (m *Model) SolveExact() (*Result, error) {
+	sol, err := petri.SolveCTMC(m.Net)
+	if err != nil {
+		return nil, fmt.Errorf("reliability: exact solve of %s: %w", m.Net.Name(), err)
+	}
+	return m.resultFromStateProbs(sol, "ctmc")
+}
+
+// SolveErlang approximates the deterministic rejuvenation clock with a
+// k-stage Erlang chain and solves the resulting CTMC exactly. Larger stage
+// counts approach the DSPN solution.
+func (m *Model) SolveErlang(stages int) (*Result, error) {
+	approx, err := petri.ErlangApproximation(m.Net, stages)
+	if err != nil {
+		return nil, err
+	}
+	sol, err := petri.SolveCTMC(approx)
+	if err != nil {
+		return nil, fmt.Errorf("reliability: Erlang solve of %s: %w", m.Net.Name(), err)
+	}
+	res, err := m.resultFromStateProbs(sol, fmt.Sprintf("erlang-%d", stages))
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func (m *Model) resultFromStateProbs(sol *petri.CTMCResult, method string) (*Result, error) {
+	res := &Result{StateProbs: make(map[State]float64), Method: method}
+	for i, mk := range sol.States {
+		res.StateProbs[m.StateOf(mk)] += sol.Pi[i]
+	}
+	expected, err := ExpectedReliability(res.StateProbs, m.Params)
+	if err != nil {
+		return nil, err
+	}
+	res.Expected = expected
+	return res, nil
+}
+
+// SolveSimulation estimates the steady-state reliability by Monte-Carlo
+// simulation of the DSPN. It handles every model variant, including the
+// deterministic proactive-rejuvenation clock.
+func (m *Model) SolveSimulation(cfg petri.SimConfig, rng *xrand.Rand) (*Result, error) {
+	sim, err := petri.Simulate(m.Net, cfg, m.Reward(), rng)
+	if err != nil {
+		return nil, fmt.Errorf("reliability: simulating %s: %w", m.Net.Name(), err)
+	}
+	res := &Result{
+		Expected:   sim.Reward,
+		CI:         sim.RewardCI,
+		StateProbs: make(map[State]float64),
+		Method:     "simulation",
+	}
+	for key, frac := range sim.Occupancy {
+		res.StateProbs[m.StateOf(sim.MarkingOf[key])] += frac
+	}
+	return res, nil
+}
+
+// TransientReliability estimates the expected output reliability E[R(t)]
+// at the given mission times, starting from the all-healthy initial state —
+// the mission-time complement to the steady-state Eq. 3 analysis.
+func (m *Model) TransientReliability(times []float64, replications int, rng *xrand.Rand) ([]petri.TransientPoint, error) {
+	cfg := petri.TransientConfig{Times: times, Replications: replications}
+	points, err := petri.TransientRewards(m.Net, cfg, m.Reward(), rng)
+	if err != nil {
+		return nil, fmt.Errorf("reliability: transient analysis of %s: %w", m.Net.Name(), err)
+	}
+	return points, nil
+}
+
+// DefaultSimConfig returns the simulation settings the experiment harness
+// uses: long enough for tight CIs on the paper's parameter magnitudes.
+func DefaultSimConfig() petri.SimConfig {
+	return petri.SimConfig{Horizon: 5e6, Warmup: 5e4}
+}

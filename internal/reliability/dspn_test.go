@@ -1,0 +1,306 @@
+package reliability
+
+import (
+	"math"
+	"testing"
+
+	"mvml/internal/petri"
+	"mvml/internal/xrand"
+)
+
+// TestTableVWithoutRejuvenationExact reproduces the "w/o rej." column of the
+// paper's Table V with the exact CTMC solver: 0.848211 / 0.943875 /
+// 0.903190 for the single-, two- and three-version systems.
+func TestTableVWithoutRejuvenationExact(t *testing.T) {
+	pr := DefaultParams()
+	want := map[int]float64{1: 0.848211, 2: 0.943875, 3: 0.903190}
+	for n := 1; n <= 3; n++ {
+		model, err := NewModel(n, pr, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := model.SolveExact()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almostEqual(res.Expected, want[n], 2e-5) {
+			t.Errorf("%d-version w/o rejuvenation: %.6f, want %.6f (paper Table V)",
+				n, res.Expected, want[n])
+		}
+		// State probabilities are a distribution.
+		var mass float64
+		for _, p := range res.StateProbs {
+			mass += p
+		}
+		if !almostEqual(mass, 1, 1e-9) {
+			t.Errorf("%d-version state probabilities sum to %v", n, mass)
+		}
+	}
+}
+
+// TestTableVWithRejuvenationSimulation reproduces the "w/ rej." column of
+// Table V by DSPN simulation: 0.920217 / 0.967152 / 0.952998. The tolerance
+// accommodates Monte-Carlo noise.
+func TestTableVWithRejuvenationSimulation(t *testing.T) {
+	pr := DefaultParams()
+	want := map[int]float64{1: 0.920217, 2: 0.967152, 3: 0.952998}
+	rng := xrand.New(1)
+	for n := 1; n <= 3; n++ {
+		model, err := NewModel(n, pr, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := model.SolveSimulation(DefaultSimConfig(), rng.Split("tableV", uint64(n)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(res.Expected-want[n]) > 0.01 {
+			t.Errorf("%d-version w/ rejuvenation: %.6f, want %.6f ± 0.01 (paper Table V)",
+				n, res.Expected, want[n])
+		}
+	}
+}
+
+// TestErlangCrossValidatesSimulation solves the proactive DSPN both by
+// simulation and by Erlang phase-type approximation; the two independent
+// methods must agree.
+func TestErlangCrossValidatesSimulation(t *testing.T) {
+	pr := DefaultParams()
+	model, err := NewModel(3, pr, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := model.SolveSimulation(DefaultSimConfig(), xrand.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	erl, err := model.SolveErlang(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sim.Expected-erl.Expected) > 0.01 {
+		t.Fatalf("simulation %.6f and Erlang %.6f disagree", sim.Expected, erl.Expected)
+	}
+}
+
+func TestSimulationMatchesExactWithoutProactive(t *testing.T) {
+	pr := DefaultParams()
+	for n := 1; n <= 3; n++ {
+		model, err := NewModel(n, pr, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact, err := model.SolveExact()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim, err := model.SolveSimulation(petri.SimConfig{Horizon: 2e6, Warmup: 1e4}, xrand.New(uint64(n)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(exact.Expected-sim.Expected) > 0.01 {
+			t.Errorf("%d-version: exact %.6f vs simulated %.6f", n, exact.Expected, sim.Expected)
+		}
+	}
+}
+
+func TestProactiveRejuvenationImprovesReliability(t *testing.T) {
+	// The paper's headline: proactive rejuvenation helps every
+	// configuration at the default parameters.
+	pr := DefaultParams()
+	rng := xrand.New(7)
+	for n := 1; n <= 3; n++ {
+		without, err := NewModel(n, pr, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact, err := without.SolveExact()
+		if err != nil {
+			t.Fatal(err)
+		}
+		with, err := NewModel(n, pr, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim, err := with.SolveSimulation(DefaultSimConfig(), rng.Split("improve", uint64(n)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sim.Expected <= exact.Expected {
+			t.Errorf("%d-version: rejuvenation did not help (%.6f vs %.6f)",
+				n, sim.Expected, exact.Expected)
+		}
+	}
+}
+
+func TestTwoVersionBeatsThreeVersion(t *testing.T) {
+	// Because the 2-version voter may safely skip on disagreement, the
+	// paper finds 2v > 3v with and without rejuvenation (Table V).
+	pr := DefaultParams()
+	two, err := NewModel(2, pr, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	three, err := NewModel(3, pr, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := two.SolveExact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3, err := three.SolveExact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Expected <= r3.Expected {
+		t.Fatalf("2-version (%.6f) should outperform 3-version (%.6f)", r2.Expected, r3.Expected)
+	}
+}
+
+func TestNewModelValidation(t *testing.T) {
+	pr := DefaultParams()
+	if _, err := NewModel(0, pr, false); err == nil {
+		t.Fatal("expected error for 0 modules")
+	}
+	if _, err := NewModel(4, pr, true); err == nil {
+		t.Fatal("expected error for 4 modules")
+	}
+	bad := pr
+	bad.MeanTimeToFailure = -1
+	if _, err := NewModel(3, bad, false); err == nil {
+		t.Fatal("expected error for invalid params")
+	}
+}
+
+func TestSolveExactRejectsProactive(t *testing.T) {
+	model, err := NewModel(3, DefaultParams(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := model.SolveExact(); err == nil {
+		t.Fatal("expected rejection: proactive model has a deterministic transition")
+	}
+}
+
+func TestStateOfCountsRejuvenatingAsNonFunctional(t *testing.T) {
+	model, err := NewModel(3, DefaultParams(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := model.Net.InitialMarking()
+	mk[model.Pmh.Index()] = 1
+	mk[model.Pmc.Index()] = 1
+	mk[model.Pmr.Index()] = 1
+	s := model.StateOf(mk)
+	if s != (State{Healthy: 1, Compromised: 1, NonFunctional: 1}) {
+		t.Fatalf("state %v, want (1,1,1)", s)
+	}
+}
+
+func TestShorterIntervalIncreasesReliability(t *testing.T) {
+	// Fig. 4(a): more frequent rejuvenation keeps reliability higher.
+	pr := DefaultParams()
+	rng := xrand.New(11)
+	fast := pr
+	fast.RejuvenationInterval = 60
+	slow := pr
+	slow.RejuvenationInterval = 2500
+
+	solve := func(p Params, tag string) float64 {
+		model, err := NewModel(3, p, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := model.SolveSimulation(DefaultSimConfig(), rng.Split(tag, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Expected
+	}
+	rFast := solve(fast, "fast")
+	rSlow := solve(slow, "slow")
+	if rFast <= rSlow {
+		t.Fatalf("interval 60s (%.6f) should beat 2500s (%.6f)", rFast, rSlow)
+	}
+}
+
+func BenchmarkSolveExact3v(b *testing.B) {
+	model, err := NewModel(3, DefaultParams(), false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := model.SolveExact(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimulate3vProactive(b *testing.B) {
+	model, err := NewModel(3, DefaultParams(), true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := petri.SimConfig{Horizon: 1e5, Warmup: 1e3}
+	for i := 0; i < b.N; i++ {
+		if _, err := model.SolveSimulation(cfg, xrand.New(uint64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestTransientReliabilityCurve: mission-time reliability starts at
+// R(3,0,0), decays toward the steady state, and the rejuvenated system
+// dominates the non-rejuvenated one at long mission times.
+func TestTransientReliabilityCurve(t *testing.T) {
+	pr := DefaultParams()
+	times := []float64{1, 1523, 6092}
+
+	with, err := NewModel(3, pr, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withPts, err := with.TransientReliability(times, 1200, xrand.New(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := NewModel(3, pr, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withoutPts, err := without.TransientReliability(times, 1200, xrand.New(22))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r300, err := pr.StateReliability(State{Healthy: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At t ≈ 0 both systems are all-healthy.
+	if math.Abs(withPts[0].Reward.Mean-r300) > 0.005 {
+		t.Errorf("E[R(1)] = %.4f, want ≈ R(3,0,0) = %.4f", withPts[0].Reward.Mean, r300)
+	}
+	// Curves decay from the all-healthy start.
+	if withPts[2].Reward.Mean >= withPts[0].Reward.Mean {
+		t.Error("with-rejuvenation curve should decay from the healthy start")
+	}
+	if withoutPts[2].Reward.Mean >= withoutPts[0].Reward.Mean {
+		t.Error("without-rejuvenation curve should decay from the healthy start")
+	}
+	// At long mission times, rejuvenation dominates and each curve
+	// approaches its steady state.
+	if withPts[2].Reward.Mean <= withoutPts[2].Reward.Mean {
+		t.Errorf("at t=%v rejuvenation (%.4f) should dominate (%.4f)",
+			times[2], withPts[2].Reward.Mean, withoutPts[2].Reward.Mean)
+	}
+	exact, err := without.SolveExact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(withoutPts[2].Reward.Mean-exact.Expected) > 0.02 {
+		t.Errorf("long-run transient %.4f should approach the steady state %.4f",
+			withoutPts[2].Reward.Mean, exact.Expected)
+	}
+}

@@ -1,0 +1,274 @@
+package signs
+
+import (
+	"testing"
+
+	"mvml/internal/nn"
+	"mvml/internal/xrand"
+)
+
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.TrainPerClass = 3
+	cfg.TestPerClass = 2
+	return cfg
+}
+
+func TestGenerateCounts(t *testing.T) {
+	ds, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Train) != NumClasses*3 {
+		t.Fatalf("train size %d, want %d", len(ds.Train), NumClasses*3)
+	}
+	if len(ds.Test) != NumClasses*2 {
+		t.Fatalf("test size %d, want %d", len(ds.Test), NumClasses*2)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Train {
+		if a.Train[i].Label != b.Train[i].Label {
+			t.Fatalf("labels diverge at %d", i)
+		}
+		for j := range a.Train[i].X.Data {
+			if a.Train[i].X.Data[j] != b.Train[i].X.Data[j] {
+				t.Fatalf("pixels diverge at sample %d pixel %d", i, j)
+			}
+		}
+	}
+}
+
+func TestGenerateSeedChangesData(t *testing.T) {
+	cfg := smallConfig()
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Seed = 99
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := 0
+	for j := range a.Test[0].X.Data {
+		if a.Test[0].X.Data[j] != b.Test[0].X.Data[j] {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("different seeds produced identical images")
+	}
+}
+
+func TestPixelRange(t *testing.T) {
+	ds, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range ds.Test {
+		for _, v := range s.X.Data {
+			if v < 0 || v > 1 {
+				t.Fatalf("pixel %v outside [0,1]", v)
+			}
+		}
+	}
+}
+
+func TestImageShape(t *testing.T) {
+	r := xrand.New(1)
+	img := Render(7, r, DefaultConfig())
+	want := []int{nn.InputChannels, nn.InputSize, nn.InputSize}
+	if len(img.Shape) != 3 {
+		t.Fatalf("shape %v", img.Shape)
+	}
+	for i, d := range want {
+		if img.Shape[i] != d {
+			t.Fatalf("shape %v, want %v", img.Shape, want)
+		}
+	}
+}
+
+func TestLabelsCoverAllClasses(t *testing.T) {
+	ds, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]int{}
+	for _, s := range ds.Train {
+		if s.Label < 0 || s.Label >= NumClasses {
+			t.Fatalf("label %d out of range", s.Label)
+		}
+		seen[s.Label]++
+	}
+	if len(seen) != NumClasses {
+		t.Fatalf("only %d classes present in train set", len(seen))
+	}
+	for class, count := range seen {
+		if count != 3 {
+			t.Fatalf("class %d has %d train samples, want 3", class, count)
+		}
+	}
+}
+
+func TestTrainSetIsShuffled(t *testing.T) {
+	ds, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// If unshuffled, the labels would be grouped in runs of TrainPerClass.
+	runs := 0
+	for i := 1; i < len(ds.Train); i++ {
+		if ds.Train[i].Label != ds.Train[i-1].Label {
+			runs++
+		}
+	}
+	if runs < NumClasses*2 {
+		t.Fatalf("train labels look unshuffled (%d label changes)", runs)
+	}
+}
+
+func TestClassesAreVisuallyDistinct(t *testing.T) {
+	// Noise-free renders of two different classes must differ substantially;
+	// same class from the same stream state should be reproducible.
+	cfg := DefaultConfig()
+	cfg.Noise = 0
+	cfg.BlurProb = 0
+	cfg.OcclusionProb = 0
+	cfg.LowContrastProb = 0
+	cfg.Jitter = 0
+
+	a := Render(1, xrand.New(5), cfg)
+	b := Render(2, xrand.New(5), cfg)
+	var diff float64
+	for i := range a.Data {
+		d := float64(a.Data[i] - b.Data[i])
+		diff += d * d
+	}
+	if diff < 1 {
+		t.Fatalf("classes 1 and 2 nearly identical (sq diff %v)", diff)
+	}
+}
+
+func TestClassShapeMapping(t *testing.T) {
+	if ClassShape(0) != ShapeCircle {
+		t.Fatal("class 0 should be a circle")
+	}
+	if ClassShape(4) != ShapeOctagon {
+		t.Fatal("class 4 should be an octagon")
+	}
+	if ClassShape(5) != ShapeCircle {
+		t.Fatal("class 5 should wrap to circle")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{TrainPerClass: -1, TestPerClass: 1},
+		{TrainPerClass: 0, TestPerClass: 0},
+		{TrainPerClass: 1, TestPerClass: 1, BlurProb: 1.5},
+		{TrainPerClass: 1, TestPerClass: 1, Noise: -0.1},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %d should be invalid", i)
+		}
+	}
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+}
+
+func TestGenerateRejectsInvalidConfig(t *testing.T) {
+	if _, err := Generate(Config{}); err == nil {
+		t.Fatal("expected error for empty config")
+	}
+}
+
+func TestInShapeGeometry(t *testing.T) {
+	// Centre is inside every shape; far corner is outside every shape.
+	for s := ShapeCircle; s <= ShapeOctagon; s++ {
+		if !inShape(s, 0, 0) {
+			t.Errorf("shape %d: centre not inside", s)
+		}
+		if inShape(s, 5, 5) {
+			t.Errorf("shape %d: far point inside", s)
+		}
+	}
+	// Triangle-up apex: near the top, only a thin slice is inside.
+	if inShape(ShapeTriangleUp, 0.8, -0.9) {
+		t.Error("triangle-up should be thin at the apex")
+	}
+	if !inShape(ShapeTriangleUp, 0.8, 0.9) {
+		t.Error("triangle-up should be wide at the base")
+	}
+}
+
+func TestASeparableConfigIsLearnable(t *testing.T) {
+	// Smoke test across packages: with low noise, even a tiny dense model
+	// learns a few classes well above chance. Full-scale training quality
+	// is exercised by the Table II experiment.
+	cfg := Config{
+		TrainPerClass: 30,
+		TestPerClass:  10,
+		Noise:         0.02,
+		Jitter:        1,
+		Seed:          7,
+	}
+	ds, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Keep only the first 5 classes for speed.
+	var train, test []nn.Sample
+	for _, s := range ds.Train {
+		if s.Label < 5 {
+			train = append(train, s)
+		}
+	}
+	for _, s := range ds.Test {
+		if s.Label < 5 {
+			test = append(test, s)
+		}
+	}
+	r := xrand.New(1)
+	net := &nn.Network{Name: "probe", Layers: []nn.Layer{
+		nn.NewFlatten("flat"),
+		nn.NewDense("fc1", nn.InputChannels*nn.InputSize*nn.InputSize, 32, r),
+		nn.NewReLU("relu"),
+		nn.NewDense("fc2", 32, 5, r),
+	}}
+	opt := nn.NewSGD(0.01, 0.9)
+	for epoch := 0; epoch < 15; epoch++ {
+		for i := 0; i+10 <= len(train); i += 10 {
+			if _, err := net.TrainBatch(train[i:i+10], opt); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	acc, err := net.Accuracy(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.8 { // chance is 0.2
+		t.Fatalf("probe accuracy %v: dataset classes not learnable", acc)
+	}
+}
+
+func BenchmarkRender(b *testing.B) {
+	r := xrand.New(1)
+	cfg := DefaultConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Render(i%NumClasses, r, cfg)
+	}
+}

@@ -1,0 +1,309 @@
+// Package stats provides the small set of statistical estimators the
+// experiment harnesses need: sample moments, Student-t confidence intervals
+// (used for the overhead table), batch-means steady-state estimation (used
+// by the Monte-Carlo DSPN solver), and fixed-width histograms.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrInsufficientData is returned when an estimator needs more samples than
+// were provided.
+var ErrInsufficientData = errors.New("stats: insufficient data")
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance of xs (n-1 denominator),
+// or 0 when fewer than two samples are given.
+func Variance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(n-1)
+}
+
+// StdDev returns the sample standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	return math.Sqrt(Variance(xs))
+}
+
+// Min returns the smallest element of xs, or 0 for an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest element of xs, or 0 for an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
+// interpolation between order statistics. It returns an error for empty
+// input or q outside [0, 1].
+func Quantile(xs []float64, q float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrInsufficientData
+	}
+	if q < 0 || q > 1 {
+		return 0, fmt.Errorf("stats: quantile %v outside [0,1]", q)
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo], nil
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
+}
+
+// Interval is a two-sided confidence interval around a sample mean.
+type Interval struct {
+	Mean  float64
+	Lo    float64
+	Hi    float64
+	Level float64 // confidence level, e.g. 0.95
+}
+
+func (ci Interval) String() string {
+	return fmt.Sprintf("%.4f [%.4f, %.4f]", ci.Mean, ci.Lo, ci.Hi)
+}
+
+// Contains reports whether v lies inside the interval (inclusive).
+func (ci Interval) Contains(v float64) bool {
+	return v >= ci.Lo && v <= ci.Hi
+}
+
+// Overlaps reports whether two intervals intersect. The paper uses CI
+// overlap to argue that rejuvenation adds no significant GPU cost
+// (Table VIII).
+func (ci Interval) Overlaps(other Interval) bool {
+	return ci.Lo <= other.Hi && other.Lo <= ci.Hi
+}
+
+// MeanCI returns the two-sided Student-t confidence interval for the mean of
+// xs at the given confidence level (e.g. 0.95). It requires at least two
+// samples.
+func MeanCI(xs []float64, level float64) (Interval, error) {
+	n := len(xs)
+	if n < 2 {
+		return Interval{}, ErrInsufficientData
+	}
+	if level <= 0 || level >= 1 {
+		return Interval{}, fmt.Errorf("stats: confidence level %v outside (0,1)", level)
+	}
+	m := Mean(xs)
+	se := StdDev(xs) / math.Sqrt(float64(n))
+	tcrit := tCritical(n-1, level)
+	return Interval{Mean: m, Lo: m - tcrit*se, Hi: m + tcrit*se, Level: level}, nil
+}
+
+// tCritical returns the two-sided Student-t critical value for the given
+// degrees of freedom and confidence level, computed by bisecting the
+// regularised incomplete beta CDF.
+func tCritical(df int, level float64) float64 {
+	target := 1 - (1-level)/2 // upper-tail quantile of the CDF
+	lo, hi := 0.0, 1000.0
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if tCDF(mid, float64(df)) < target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// tCDF is the CDF of Student's t distribution with df degrees of freedom,
+// expressed through the regularised incomplete beta function.
+func tCDF(t, df float64) float64 {
+	if t == 0 {
+		return 0.5
+	}
+	x := df / (df + t*t)
+	p := 0.5 * regIncBeta(df/2, 0.5, x)
+	if t > 0 {
+		return 1 - p
+	}
+	return p
+}
+
+// regIncBeta computes the regularised incomplete beta function I_x(a, b)
+// via the continued-fraction expansion (Numerical Recipes betacf).
+func regIncBeta(a, b, x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if x >= 1 {
+		return 1
+	}
+	lbeta := lgamma(a+b) - lgamma(a) - lgamma(b)
+	front := math.Exp(lbeta + a*math.Log(x) + b*math.Log(1-x))
+	if x < (a+1)/(a+b+2) {
+		return front * betaCF(a, b, x) / a
+	}
+	return 1 - front*betaCF(b, a, 1-x)/b
+}
+
+func betaCF(a, b, x float64) float64 {
+	const (
+		maxIter = 300
+		eps     = 3e-14
+		fpmin   = 1e-300
+	)
+	qab, qap, qam := a+b, a+1, a-1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < fpmin {
+		d = fpmin
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		fm := float64(m)
+		m2 := 2 * fm
+		aa := fm * (b - fm) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + fm) * (qab + fm) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}
+
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+// BatchMeans estimates the mean of a (possibly autocorrelated) stationary
+// series by splitting it into nBatches contiguous batches and treating the
+// batch means as independent samples. It is the standard steady-state output
+// analysis used by the Monte-Carlo DSPN solver.
+func BatchMeans(series []float64, nBatches int, level float64) (Interval, error) {
+	if nBatches < 2 {
+		return Interval{}, fmt.Errorf("stats: need at least 2 batches, got %d", nBatches)
+	}
+	if len(series) < 2*nBatches {
+		return Interval{}, ErrInsufficientData
+	}
+	batchLen := len(series) / nBatches
+	means := make([]float64, 0, nBatches)
+	for b := 0; b < nBatches; b++ {
+		means = append(means, Mean(series[b*batchLen:(b+1)*batchLen]))
+	}
+	return MeanCI(means, level)
+}
+
+// Histogram is a fixed-width histogram over [Lo, Hi).
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	Under  int // samples below Lo
+	Over   int // samples >= Hi
+	total  int
+}
+
+// NewHistogram returns a histogram with nBins equal-width bins over [lo, hi).
+// It returns an error for invalid bounds or bin counts.
+func NewHistogram(lo, hi float64, nBins int) (*Histogram, error) {
+	if nBins <= 0 {
+		return nil, fmt.Errorf("stats: histogram needs positive bins, got %d", nBins)
+	}
+	if hi <= lo {
+		return nil, fmt.Errorf("stats: histogram bounds [%v, %v) are empty", lo, hi)
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, nBins)}, nil
+}
+
+// Add records one sample.
+func (h *Histogram) Add(x float64) {
+	h.total++
+	switch {
+	case x < h.Lo:
+		h.Under++
+	case x >= h.Hi:
+		h.Over++
+	default:
+		bin := int(float64(len(h.Counts)) * (x - h.Lo) / (h.Hi - h.Lo))
+		if bin >= len(h.Counts) {
+			bin = len(h.Counts) - 1
+		}
+		h.Counts[bin]++
+	}
+}
+
+// Total returns the number of samples recorded, including out-of-range ones.
+func (h *Histogram) Total() int { return h.total }
+
+// Frac returns the fraction of all samples that fell into bin i.
+func (h *Histogram) Frac(i int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.Counts[i]) / float64(h.total)
+}

@@ -1,0 +1,333 @@
+// Package tensor implements the minimal dense float32 tensor machinery the
+// neural-network substrate needs: shape bookkeeping, element-wise kernels,
+// matrix multiplication, and the im2col transform used by the convolution
+// layers. The focus is correctness and determinism on a single CPU, not peak
+// throughput.
+package tensor
+
+import (
+	"fmt"
+
+	"mvml/internal/xrand"
+)
+
+// Tensor is a dense row-major float32 tensor.
+type Tensor struct {
+	Shape []int
+	Data  []float32
+}
+
+// New returns a zero tensor with the given shape. It panics on non-positive
+// dimensions, which are always programmer errors in this codebase.
+func New(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		if d <= 0 {
+			panic(fmt.Sprintf("tensor: non-positive dimension in shape %v", shape))
+		}
+		n *= d
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: make([]float32, n)}
+}
+
+// FromSlice wraps data in a tensor of the given shape. The data is NOT
+// copied. It returns an error if the element count does not match the shape.
+func FromSlice(data []float32, shape ...int) (*Tensor, error) {
+	n := 1
+	for _, d := range shape {
+		if d <= 0 {
+			return nil, fmt.Errorf("tensor: non-positive dimension in shape %v", shape)
+		}
+		n *= d
+	}
+	if n != len(data) {
+		return nil, fmt.Errorf("tensor: shape %v wants %d elements, got %d", shape, n, len(data))
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: data}, nil
+}
+
+// Len returns the total number of elements.
+func (t *Tensor) Len() int { return len(t.Data) }
+
+// Clone returns a deep copy.
+func (t *Tensor) Clone() *Tensor {
+	c := New(t.Shape...)
+	copy(c.Data, t.Data)
+	return c
+}
+
+// Reshape returns a view with a new shape sharing the same backing data.
+// It returns an error if the element counts differ.
+func (t *Tensor) Reshape(shape ...int) (*Tensor, error) {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != len(t.Data) {
+		return nil, fmt.Errorf("tensor: cannot reshape %v to %v", t.Shape, shape)
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: t.Data}, nil
+}
+
+// At returns the element at the given multi-dimensional index.
+func (t *Tensor) At(idx ...int) float32 {
+	return t.Data[t.offset(idx)]
+}
+
+// Set assigns the element at the given multi-dimensional index.
+func (t *Tensor) Set(v float32, idx ...int) {
+	t.Data[t.offset(idx)] = v
+}
+
+func (t *Tensor) offset(idx []int) int {
+	if len(idx) != len(t.Shape) {
+		panic(fmt.Sprintf("tensor: index rank %d does not match shape %v", len(idx), t.Shape))
+	}
+	off := 0
+	for i, x := range idx {
+		if x < 0 || x >= t.Shape[i] {
+			panic(fmt.Sprintf("tensor: index %v out of bounds for shape %v", idx, t.Shape))
+		}
+		off = off*t.Shape[i] + x
+	}
+	return off
+}
+
+// Fill sets every element to v.
+func (t *Tensor) Fill(v float32) {
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+}
+
+// Zero sets every element to 0.
+func (t *Tensor) Zero() { t.Fill(0) }
+
+// RandomizeUniform fills the tensor with uniform values in [lo, hi).
+func (t *Tensor) RandomizeUniform(r *xrand.Rand, lo, hi float32) {
+	span := hi - lo
+	for i := range t.Data {
+		t.Data[i] = lo + span*r.Float32()
+	}
+}
+
+// RandomizeNormal fills the tensor with N(mean, stddev) values, the
+// initialisation primitive behind He/Xavier init in the nn package.
+func (t *Tensor) RandomizeNormal(r *xrand.Rand, mean, stddev float64) {
+	for i := range t.Data {
+		t.Data[i] = float32(r.Normal(mean, stddev))
+	}
+}
+
+// AddInPlace adds other element-wise into t. It returns an error on length
+// mismatch (shapes may differ as long as the element counts agree, which the
+// residual layer exploits).
+func (t *Tensor) AddInPlace(other *Tensor) error {
+	if len(t.Data) != len(other.Data) {
+		return fmt.Errorf("tensor: add length mismatch %d vs %d", len(t.Data), len(other.Data))
+	}
+	for i, v := range other.Data {
+		t.Data[i] += v
+	}
+	return nil
+}
+
+// ScaleInPlace multiplies every element by s.
+func (t *Tensor) ScaleInPlace(s float32) {
+	for i := range t.Data {
+		t.Data[i] *= s
+	}
+}
+
+// AXPY computes t += alpha*x (same length required).
+func (t *Tensor) AXPY(alpha float32, x *Tensor) error {
+	if len(t.Data) != len(x.Data) {
+		return fmt.Errorf("tensor: axpy length mismatch %d vs %d", len(t.Data), len(x.Data))
+	}
+	for i, v := range x.Data {
+		t.Data[i] += alpha * v
+	}
+	return nil
+}
+
+// MatMul computes C = A·B for 2-D tensors A (m×k) and B (k×n). It returns an
+// error on rank or inner-dimension mismatch.
+func MatMul(a, b *Tensor) (*Tensor, error) {
+	if len(a.Shape) != 2 || len(b.Shape) != 2 {
+		return nil, fmt.Errorf("tensor: MatMul requires 2-D operands, got %v and %v", a.Shape, b.Shape)
+	}
+	m, k := a.Shape[0], a.Shape[1]
+	k2, n := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		return nil, fmt.Errorf("tensor: MatMul inner dimensions %d and %d differ", k, k2)
+	}
+	c := New(m, n)
+	// ikj loop order: streams through B and C rows for cache friendliness.
+	for i := 0; i < m; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		crow := c.Data[i*n : (i+1)*n]
+		for kk := 0; kk < k; kk++ {
+			av := arow[kk]
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[kk*n : (kk+1)*n]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+	return c, nil
+}
+
+// MatMulTransA computes C = Aᵀ·B for A (k×m) and B (k×n), used by dense
+// backprop without materialising the transpose.
+func MatMulTransA(a, b *Tensor) (*Tensor, error) {
+	if len(a.Shape) != 2 || len(b.Shape) != 2 {
+		return nil, fmt.Errorf("tensor: MatMulTransA requires 2-D operands, got %v and %v", a.Shape, b.Shape)
+	}
+	k, m := a.Shape[0], a.Shape[1]
+	k2, n := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		return nil, fmt.Errorf("tensor: MatMulTransA leading dimensions %d and %d differ", k, k2)
+	}
+	c := New(m, n)
+	for kk := 0; kk < k; kk++ {
+		arow := a.Data[kk*m : (kk+1)*m]
+		brow := b.Data[kk*n : (kk+1)*n]
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			crow := c.Data[i*n : (i+1)*n]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+	return c, nil
+}
+
+// MatMulTransB computes C = A·Bᵀ for A (m×k) and B (n×k).
+func MatMulTransB(a, b *Tensor) (*Tensor, error) {
+	if len(a.Shape) != 2 || len(b.Shape) != 2 {
+		return nil, fmt.Errorf("tensor: MatMulTransB requires 2-D operands, got %v and %v", a.Shape, b.Shape)
+	}
+	m, k := a.Shape[0], a.Shape[1]
+	n, k2 := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		return nil, fmt.Errorf("tensor: MatMulTransB trailing dimensions %d and %d differ", k, k2)
+	}
+	c := New(m, n)
+	for i := 0; i < m; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		crow := c.Data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			brow := b.Data[j*k : (j+1)*k]
+			var sum float32
+			for kk, av := range arow {
+				sum += av * brow[kk]
+			}
+			crow[j] = sum
+		}
+	}
+	return c, nil
+}
+
+// Conv2DShape returns the output height and width of a convolution over an
+// input of the given spatial size with the given kernel, stride and padding.
+func Conv2DShape(h, w, kh, kw, stride, pad int) (int, int) {
+	oh := (h+2*pad-kh)/stride + 1
+	ow := (w+2*pad-kw)/stride + 1
+	return oh, ow
+}
+
+// Im2Col unrolls an input tensor of shape (C, H, W) into a matrix of shape
+// (C*kh*kw, oh*ow) so convolution becomes a single MatMul. Out-of-bounds
+// (padding) positions contribute zeros.
+func Im2Col(in *Tensor, kh, kw, stride, pad int) (*Tensor, error) {
+	if len(in.Shape) != 3 {
+		return nil, fmt.Errorf("tensor: Im2Col requires (C,H,W) input, got %v", in.Shape)
+	}
+	c, h, w := in.Shape[0], in.Shape[1], in.Shape[2]
+	oh, ow := Conv2DShape(h, w, kh, kw, stride, pad)
+	if oh <= 0 || ow <= 0 {
+		return nil, fmt.Errorf("tensor: Im2Col output is empty for input %v kernel %dx%d stride %d pad %d",
+			in.Shape, kh, kw, stride, pad)
+	}
+	out := New(c*kh*kw, oh*ow)
+	for ch := 0; ch < c; ch++ {
+		chBase := ch * h * w
+		for ky := 0; ky < kh; ky++ {
+			for kx := 0; kx < kw; kx++ {
+				row := (ch*kh+ky)*kw + kx
+				dst := out.Data[row*oh*ow : (row+1)*oh*ow]
+				di := 0
+				for oy := 0; oy < oh; oy++ {
+					iy := oy*stride + ky - pad
+					if iy < 0 || iy >= h {
+						di += ow
+						continue
+					}
+					rowBase := chBase + iy*w
+					for ox := 0; ox < ow; ox++ {
+						ix := ox*stride + kx - pad
+						if ix >= 0 && ix < w {
+							dst[di] = in.Data[rowBase+ix]
+						}
+						di++
+					}
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// Col2Im scatters a (C*kh*kw, oh*ow) column matrix back into a (C, H, W)
+// tensor, accumulating overlapping contributions — the adjoint of Im2Col,
+// used for convolution input gradients.
+func Col2Im(cols *Tensor, c, h, w, kh, kw, stride, pad int) (*Tensor, error) {
+	oh, ow := Conv2DShape(h, w, kh, kw, stride, pad)
+	if len(cols.Shape) != 2 || cols.Shape[0] != c*kh*kw || cols.Shape[1] != oh*ow {
+		return nil, fmt.Errorf("tensor: Col2Im got shape %v, want (%d, %d)", cols.Shape, c*kh*kw, oh*ow)
+	}
+	out := New(c, h, w)
+	for ch := 0; ch < c; ch++ {
+		chBase := ch * h * w
+		for ky := 0; ky < kh; ky++ {
+			for kx := 0; kx < kw; kx++ {
+				row := (ch*kh+ky)*kw + kx
+				src := cols.Data[row*oh*ow : (row+1)*oh*ow]
+				si := 0
+				for oy := 0; oy < oh; oy++ {
+					iy := oy*stride + ky - pad
+					if iy < 0 || iy >= h {
+						si += ow
+						continue
+					}
+					rowBase := chBase + iy*w
+					for ox := 0; ox < ow; ox++ {
+						ix := ox*stride + kx - pad
+						if ix >= 0 && ix < w {
+							out.Data[rowBase+ix] += src[si]
+						}
+						si++
+					}
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// ArgMax returns the index of the largest element (first occurrence).
+func (t *Tensor) ArgMax() int {
+	best, bi := t.Data[0], 0
+	for i, v := range t.Data[1:] {
+		if v > best {
+			best, bi = v, i+1
+		}
+	}
+	return bi
+}

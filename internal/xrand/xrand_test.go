@@ -1,0 +1,271 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed generators diverged at step %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical values", same)
+	}
+}
+
+func TestSplitIndependentOfOrder(t *testing.T) {
+	parent := New(7)
+	x := parent.Split("a", 1).Uint64()
+	y := parent.Split("b", 2).Uint64()
+
+	parent2 := New(7)
+	y2 := parent2.Split("b", 2).Uint64()
+	x2 := parent2.Split("a", 1).Uint64()
+
+	if x != x2 || y != y2 {
+		t.Fatal("split streams depend on split order")
+	}
+}
+
+func TestSplitDoesNotAdvanceParent(t *testing.T) {
+	a, b := New(9), New(9)
+	a.Split("ignored", 0)
+	if a.Uint64() != b.Uint64() {
+		t.Fatal("Split consumed parent state")
+	}
+}
+
+func TestSplitStreamsDiffer(t *testing.T) {
+	parent := New(3)
+	seen := map[uint64]bool{}
+	for i := uint64(0); i < 50; i++ {
+		v := parent.Split("run", i).Uint64()
+		if seen[v] {
+			t.Fatalf("duplicate first value across split streams at i=%d", i)
+		}
+		seen[v] = true
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(11)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(13)
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean %v too far from 0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(17)
+	for _, n := range []int{1, 2, 3, 7, 100} {
+		for i := 0; i < 1000; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for Intn(0)")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	r := New(19)
+	const n, draws = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(n)]++
+	}
+	for i, c := range counts {
+		frac := float64(c) / draws
+		if math.Abs(frac-0.1) > 0.01 {
+			t.Fatalf("bucket %d frequency %v deviates from 0.1", i, frac)
+		}
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := New(23)
+	const mean, n = 5.0, 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		v := r.Exp(mean)
+		if v < 0 {
+			t.Fatalf("Exp returned negative value %v", v)
+		}
+		sum += v
+	}
+	got := sum / n
+	if math.Abs(got-mean)/mean > 0.02 {
+		t.Fatalf("Exp mean %v too far from %v", got, mean)
+	}
+}
+
+func TestExpPanicsOnNonPositiveMean(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for Exp(0)")
+		}
+	}()
+	New(1).Exp(0)
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := New(29)
+	const mean, sd, n = 3.0, 2.0, 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.Normal(mean, sd)
+		sum += v
+		sumSq += v * v
+	}
+	m := sum / n
+	variance := sumSq/n - m*m
+	if math.Abs(m-mean) > 0.05 {
+		t.Fatalf("Normal mean %v too far from %v", m, mean)
+	}
+	if math.Abs(math.Sqrt(variance)-sd) > 0.05 {
+		t.Fatalf("Normal stddev %v too far from %v", math.Sqrt(variance), sd)
+	}
+}
+
+func TestBernoulli(t *testing.T) {
+	r := New(31)
+	const p, n = 0.3, 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if r.Bernoulli(p) {
+			hits++
+		}
+	}
+	got := float64(hits) / n
+	if math.Abs(got-p) > 0.01 {
+		t.Fatalf("Bernoulli(%v) frequency %v", p, got)
+	}
+}
+
+func TestCategoricalProportions(t *testing.T) {
+	r := New(37)
+	weights := []float64{1, 2, 7}
+	counts := make([]int, len(weights))
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[r.Categorical(weights)]++
+	}
+	for i, w := range weights {
+		want := w / 10
+		got := float64(counts[i]) / n
+		if math.Abs(got-want) > 0.01 {
+			t.Fatalf("category %d frequency %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestCategoricalIgnoresNonPositive(t *testing.T) {
+	r := New(41)
+	weights := []float64{0, -3, 5, 0}
+	for i := 0; i < 1000; i++ {
+		if got := r.Categorical(weights); got != 2 {
+			t.Fatalf("Categorical chose zero-weight index %d", got)
+		}
+	}
+}
+
+func TestCategoricalAllZeroFallsBackToUniform(t *testing.T) {
+	r := New(43)
+	weights := []float64{0, 0, 0}
+	seen := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		seen[r.Categorical(weights)] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("uniform fallback only hit %d of 3 categories", len(seen))
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(47)
+	p := r.Perm(20)
+	seen := make([]bool, 20)
+	for _, v := range p {
+		if v < 0 || v >= 20 || seen[v] {
+			t.Fatalf("Perm produced invalid permutation %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestPropertyIntnInRange(t *testing.T) {
+	f := func(seed uint64, n uint16) bool {
+		bound := int(n%1000) + 1
+		r := New(seed)
+		v := r.Intn(bound)
+		return v >= 0 && v < bound
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyUniformInRange(t *testing.T) {
+	f := func(seed uint64, a, b float64) bool {
+		lo := math.Mod(math.Abs(a), 100)
+		hi := lo + math.Mod(math.Abs(b), 100) + 1
+		v := New(seed).Uniform(lo, hi)
+		return v >= lo && v < hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}
+
+func BenchmarkExp(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Exp(10)
+	}
+}
