@@ -16,7 +16,11 @@ package mvml_test
 import (
 	"testing"
 
+	"mvml/internal/core"
+	"mvml/internal/drivesim"
 	"mvml/internal/experiments"
+	"mvml/internal/obs"
+	"mvml/internal/perception"
 	"mvml/internal/petri"
 	"mvml/internal/reliability"
 	"mvml/internal/xrand"
@@ -233,3 +237,37 @@ func BenchmarkAblationErlang(b *testing.B) {
 		b.ReportMetric(res.Values[len(res.Values)-1], "erlang-20")
 	}
 }
+
+// benchTelemetryPipeline measures the perception inference hot path with
+// telemetry detached or attached. The disabled path must cost nothing
+// beyond nil checks; the enabled path adds a fixed few timestamp reads per
+// round and no allocations.
+func benchTelemetryPipeline(b *testing.B, instrument bool) {
+	pipe, err := perception.NewPipeline(3, perception.DefaultDetectorParams(),
+		core.Config{DisableFaults: true}, 1, xrand.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if instrument {
+		pipe.Instrument(obs.NewRegistry(), obs.NewTracer(obs.DefaultTraceCapacity))
+	}
+	sc := drivesim.Scene{
+		Ego: drivesim.VehicleState{},
+		Objects: []drivesim.Object{
+			{ID: 1, Pos: drivesim.Vec2{X: 12, Y: 0}},
+			{ID: 2, Pos: drivesim.Vec2{X: 30, Y: 1}},
+		},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc.Frame = i
+		sc.Time = float64(i) * 0.05
+		if _, err := pipe.Perceive(sc.Time, sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTelemetryDisabled(b *testing.B) { benchTelemetryPipeline(b, false) }
+func BenchmarkTelemetryEnabled(b *testing.B)  { benchTelemetryPipeline(b, true) }

@@ -8,6 +8,11 @@
 //	drivesim -table 8          # overhead comparison
 //	drivesim -ablation voting|selection|clocks
 //	drivesim -all
+//
+// Telemetry (shared by all four binaries): -metrics-addr serves live
+// Prometheus exposition, -telemetry-out writes the end-of-run JSON summary,
+// -trace-out dumps the JSONL event trace. Attaching telemetry never changes
+// a run's decisions.
 package main
 
 import (
@@ -16,6 +21,7 @@ import (
 	"os"
 
 	"mvml/internal/experiments"
+	"mvml/internal/obs"
 	"mvml/internal/xrand"
 )
 
@@ -26,18 +32,32 @@ func main() {
 	all := flag.Bool("all", false, "run every case-study experiment")
 	runs := flag.Int("runs", 5, "runs per route")
 	seed := flag.Uint64("seed", 2025, "root random seed")
+	var tele obs.CLI
+	tele.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
-	if err := run(*table, *mapPath, *ablation, *all, *runs, *seed); err != nil {
+	rt, err := tele.Start()
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "drivesim:", err)
+		os.Exit(1)
+	}
+	runErr := run(*table, *mapPath, *ablation, *all, *runs, *seed, rt)
+	if err := tele.Finish(map[string]any{
+		"command": "drivesim", "seed": *seed, "runs": *runs,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "drivesim:", err)
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "drivesim:", runErr)
 		os.Exit(1)
 	}
 }
 
-func run(table int, mapPath, ablation string, all bool, runs int, seed uint64) error {
+func run(table int, mapPath, ablation string, all bool, runs int, seed uint64, rt *obs.Runtime) error {
 	cfg := experiments.DefaultCaseStudyConfig()
 	cfg.RunsPerRoute = runs
 	cfg.Seed = seed
+	cfg.Obs = rt
 
 	ran := false
 	if mapPath != "" {

@@ -17,6 +17,7 @@ import (
 	"os"
 	"sort"
 
+	"mvml/internal/obs"
 	"mvml/internal/reliability"
 	"mvml/internal/xrand"
 )
@@ -28,10 +29,23 @@ func main() {
 	transient := flag.Bool("transient", false, "also print the mission-time reliability curve E[R(t)]")
 	horizon := flag.Float64("horizon", 0, "simulation horizon (0 = default)")
 	seed := flag.Uint64("seed", 1, "simulation seed")
+	var tele obs.CLI
+	tele.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
-	if err := run(*n, *interval, *erlang, *transient, *horizon, *seed); err != nil {
+	rt, err := tele.Start()
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "dspn:", err)
+		os.Exit(1)
+	}
+	runErr := run(*n, *interval, *erlang, *transient, *horizon, *seed, rt)
+	if err := tele.Finish(map[string]any{
+		"command": "dspn", "versions": *n, "seed": *seed,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "dspn:", err)
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "dspn:", runErr)
 		os.Exit(1)
 	}
 }
@@ -52,7 +66,7 @@ func printStates(probs map[reliability.State]float64) {
 	}
 }
 
-func run(n int, interval float64, erlang int, transient bool, horizon float64, seed uint64) error {
+func run(n int, interval float64, erlang int, transient bool, horizon float64, seed uint64, rt *obs.Runtime) error {
 	params := reliability.DefaultParams()
 	if interval > 0 {
 		params.RejuvenationInterval = interval
@@ -62,6 +76,8 @@ func run(n int, interval float64, erlang int, transient bool, horizon float64, s
 		simCfg.Horizon = horizon
 		simCfg.Warmup = horizon / 100
 	}
+	simCfg.Metrics = rt.Metrics()
+	simCfg.Tracer = rt.Tracer()
 	rng := xrand.New(seed)
 
 	without, err := reliability.NewModel(n, params, false)

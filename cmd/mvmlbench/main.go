@@ -17,6 +17,7 @@ import (
 	"os"
 
 	"mvml/internal/experiments"
+	"mvml/internal/obs"
 	"mvml/internal/petri"
 	"mvml/internal/reliability"
 	"mvml/internal/xrand"
@@ -32,21 +33,36 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced dataset/training budget for Table II")
 	seed := flag.Uint64("seed", 1, "random seed for simulations")
 	horizon := flag.Float64("horizon", 0, "DSPN simulation horizon in model seconds (0 = default)")
+	var tele obs.CLI
+	tele.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
-	if err := run(*table, *fig, *nversion, *diversity, *campaign, *all, *quick, *seed, *horizon); err != nil {
+	rt, err := tele.Start()
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "mvmlbench:", err)
+		os.Exit(1)
+	}
+	runErr := run(*table, *fig, *nversion, *diversity, *campaign, *all, *quick, *seed, *horizon, rt)
+	if err := tele.Finish(map[string]any{
+		"command": "mvmlbench", "seed": *seed,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "mvmlbench:", err)
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "mvmlbench:", runErr)
 		os.Exit(1)
 	}
 }
 
-func run(table int, fig string, nversion, diversity, campaign, all, quick bool, seed uint64, horizon float64) error {
+func run(table int, fig string, nversion, diversity, campaign, all, quick bool, seed uint64, horizon float64, rt *obs.Runtime) error {
 	rng := xrand.New(seed)
 	params := reliability.DefaultParams()
 	simCfg := reliability.DefaultSimConfig()
 	if horizon > 0 {
 		simCfg = petri.SimConfig{Horizon: horizon, Warmup: horizon / 100}
 	}
+	simCfg.Metrics = rt.Metrics()
+	simCfg.Tracer = rt.Tracer()
 
 	ran := false
 	if table == 2 || all {

@@ -13,8 +13,10 @@ import (
 	"image/color"
 	"image/png"
 	"os"
+	"time"
 
 	"mvml/internal/nn"
+	"mvml/internal/obs"
 	"mvml/internal/signs"
 	"mvml/internal/tensor"
 	"mvml/internal/xrand"
@@ -27,15 +29,28 @@ func main() {
 	lastClass := flag.Int("last", signs.NumClasses-1, "last class to render")
 	noise := flag.Float64("noise", -1, "override pixel-noise sigma (-1 = dataset default)")
 	seed := flag.Uint64("seed", 38, "render seed")
+	var tele obs.CLI
+	tele.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
-	if err := run(*out, *perClass, *firstClass, *lastClass, *noise, *seed); err != nil {
+	rt, err := tele.Start()
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "signsheet:", err)
+		os.Exit(1)
+	}
+	runErr := run(*out, *perClass, *firstClass, *lastClass, *noise, *seed, rt)
+	if err := tele.Finish(map[string]any{
+		"command": "signsheet", "seed": *seed,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "signsheet:", err)
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "signsheet:", runErr)
 		os.Exit(1)
 	}
 }
 
-func run(out string, perClass, firstClass, lastClass int, noise float64, seed uint64) error {
+func run(out string, perClass, firstClass, lastClass int, noise float64, seed uint64, rt *obs.Runtime) error {
 	if perClass < 1 {
 		return fmt.Errorf("per-class must be positive, got %d", perClass)
 	}
@@ -54,11 +69,29 @@ func run(out string, perClass, firstClass, lastClass int, noise float64, seed ui
 	sheet := image.NewRGBA(image.Rect(0, 0, perClass*cell+pad, rows*cell+pad))
 	root := xrand.New(cfg.Seed)
 
+	reg := rt.Metrics()
+	var renderHist *obs.Histogram
+	var tileCtr *obs.Counter
+	if reg != nil {
+		reg.Help("mvml_signsheet_render_seconds", "Per-tile render latency of the synthetic sign generator.")
+		reg.Help("mvml_signsheet_tiles_total", "Tiles rendered, labelled by class.")
+		renderHist = reg.Histogram("mvml_signsheet_render_seconds", obs.LatencyBuckets())
+	}
+
 	for row := 0; row < rows; row++ {
 		class := firstClass + row
 		r := root.Split("sheet", uint64(class))
+		if reg != nil {
+			tileCtr = reg.Counter("mvml_signsheet_tiles_total", "class", fmt.Sprintf("%d", class))
+		}
 		for col := 0; col < perClass; col++ {
+			var start time.Time
+			if reg != nil {
+				start = time.Now()
+			}
 			img := signs.Render(class, r, cfg)
+			renderHist.Observe(time.Since(start).Seconds())
+			tileCtr.Inc()
 			blit(sheet, img, pad+col*cell, pad+row*cell)
 		}
 	}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"mvml/internal/reliability"
 	"mvml/internal/xrand"
@@ -24,6 +25,17 @@ const (
 	// case study (§VII-A).
 	SelectPreferCompromised
 )
+
+func (m SelectionMode) String() string {
+	switch m {
+	case SelectByCount:
+		return "by_count"
+	case SelectPreferCompromised:
+		return "prefer_compromised"
+	default:
+		return fmt.Sprintf("SelectionMode(%d)", int(m))
+	}
+}
 
 // Config parameterises a System.
 type Config struct {
@@ -106,21 +118,47 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// Stats aggregates a system's decision outcomes.
+// Stats aggregates a system's decision outcomes and lifecycle events. The
+// counters are maintained unconditionally (telemetry attachment never
+// changes them); when a registry is attached via Instrument, the same
+// quantities are mirrored as metric series.
 type Stats struct {
 	Decisions  int // votes that produced an output
 	Skips      int // safe skips (divergence or no functional modules)
 	Inferences int // total inference rounds
+	// Divergences counts the skips caused by disagreement between at least
+	// one functional module pair (i.e. skips with a non-empty proposal
+	// set); Skips - Divergences rounds had no functional modules at all.
+	Divergences int
+	// Compromises and Crashes count H→C and C→N transitions across all
+	// modules.
+	Compromises int
+	Crashes     int
+	// ReactiveRejuvenations and ProactiveRejuvenations count rejuvenation
+	// starts by kind.
+	ReactiveRejuvenations  int
+	ProactiveRejuvenations int
+}
+
+// ratio is the shared zero-Inferences guard: every Stats accessor reports 0
+// before the first inference round rather than NaN.
+func (s Stats) ratio(n int) float64 {
+	if s.Inferences == 0 {
+		return 0
+	}
+	return float64(n) / float64(s.Inferences)
 }
 
 // SkipRatio is the fraction of rounds the voter skipped (the paper reports
 // ≈2% for the case study).
-func (s Stats) SkipRatio() float64 {
-	if s.Inferences == 0 {
-		return 0
-	}
-	return float64(s.Skips) / float64(s.Inferences)
-}
+func (s Stats) SkipRatio() float64 { return s.ratio(s.Skips) }
+
+// DecisionRatio is the fraction of rounds that produced an output.
+func (s Stats) DecisionRatio() float64 { return s.ratio(s.Decisions) }
+
+// DivergenceRatio is the fraction of rounds skipped due to module
+// disagreement (excluding rounds with no functional modules).
+func (s Stats) DivergenceRatio() float64 { return s.ratio(s.Divergences) }
 
 // System is the executable multi-version architecture: N versioned modules,
 // a trusted voter, stochastic fault processes, and the rejuvenation
@@ -143,6 +181,10 @@ type System[I, O any] struct {
 	stats     Stats
 	occupancy map[reliability.State]float64
 	observed  float64
+
+	// tel is the optional observability hook (see Instrument); nil means
+	// uninstrumented, and every telemetry method no-ops on nil.
+	tel *telemetry
 }
 
 // NewSystem builds a system over the given versions. The voter is trusted
@@ -337,6 +379,8 @@ func (s *System[I, O]) compromiseModule(i int, t float64) error {
 	m.state = Compromised
 	m.compromises++
 	m.degraded = true
+	s.stats.Compromises++
+	s.tel.transition(t, i, Healthy, Compromised, "", "")
 	if err := m.version.Compromise(); err != nil {
 		return fmt.Errorf("core: compromising %s: %w", m.Name(), err)
 	}
@@ -347,11 +391,13 @@ func (s *System[I, O]) compromiseModule(i int, t float64) error {
 }
 
 // crashModule performs the C→N transition on module i.
-func (s *System[I, O]) crashModule(i int) {
+func (s *System[I, O]) crashModule(i int, t float64) {
 	m := s.modules[i]
 	m.crashAt = math.Inf(1)
 	m.state = NonFunctional
 	m.crashes++
+	s.stats.Crashes++
+	s.tel.transition(t, i, Compromised, NonFunctional, "", "")
 }
 
 // pickRandomInState returns a uniformly random module index in the given
@@ -384,7 +430,7 @@ func (s *System[I, O]) processEventsAt(t float64) error {
 	if s.sysCrashAt <= t {
 		s.sysCrashAt = math.Inf(1)
 		if i := s.pickRandomInState(Compromised); i >= 0 {
-			s.crashModule(i)
+			s.crashModule(i, t)
 		}
 	}
 	for i, m := range s.modules {
@@ -395,12 +441,13 @@ func (s *System[I, O]) processEventsAt(t float64) error {
 			}
 
 		case m.crashAt <= t && m.state == Compromised:
-			s.crashModule(i)
+			s.crashModule(i, t)
 
 		case m.rejuvDoneAt <= t && m.state == Rejuvenating:
 			m.rejuvDoneAt = math.Inf(1)
 			m.state = Healthy
 			m.rejuvenations++
+			s.tel.transition(t, i, Rejuvenating, Healthy, "", "")
 			if m.degraded {
 				if err := m.version.Restore(); err != nil {
 					return fmt.Errorf("core: restoring %s: %w", m.Name(), err)
@@ -418,6 +465,7 @@ func (s *System[I, O]) processEventsAt(t float64) error {
 	if t >= s.nextTick {
 		s.pendingTrigger = true
 		s.nextTick = t + s.cfg.RejuvenationInterval
+		s.tel.trigger(t)
 	}
 	// Reactive rejuvenation: one crashed module at a time (single-server
 	// Tr), taking precedence over proactive starts.
@@ -427,6 +475,8 @@ func (s *System[I, O]) processEventsAt(t float64) error {
 				s.repairing = i
 				m.state = Rejuvenating
 				m.rejuvDoneAt = t + s.rng.Exp(s.cfg.MeanReactiveRejuvenation)
+				s.stats.ReactiveRejuvenations++
+				s.tel.transition(t, i, NonFunctional, Rejuvenating, "reactive", "")
 				break
 			}
 		}
@@ -437,16 +487,22 @@ func (s *System[I, O]) processEventsAt(t float64) error {
 		victim := s.selectVictim()
 		if victim >= 0 {
 			m := s.modules[victim]
+			from := m.state
 			m.state = Rejuvenating
 			m.crashAt = math.Inf(1)
 			m.compromiseAt = math.Inf(1)
 			m.rejuvDoneAt = t + s.rng.Exp(s.cfg.MeanProactiveRejuvenation)
 			s.pendingTrigger = false
+			s.stats.ProactiveRejuvenations++
+			s.tel.transition(t, victim, from, Rejuvenating, "proactive", s.cfg.Selection.String())
 		}
 	}
 	// Re-arm the single-server fault clocks against the new state
 	// (memorylessness makes re-drawing equivalent to continuing).
 	s.resampleSharedClocks(t)
+	if s.tel != nil {
+		s.tel.syncPopulation(s.statePopulation())
+	}
 	return nil
 }
 
@@ -496,22 +552,45 @@ func (s *System[I, O]) Infer(t float64, in I) (Decision[O], []Proposal[O], error
 		return Decision[O]{}, nil, err
 	}
 	proposals := make([]Proposal[O], 0, len(s.modules))
-	for _, m := range s.modules {
+	var start time.Time
+	for i, m := range s.modules {
 		if !m.state.Functional() {
 			continue
 		}
+		if s.tel != nil {
+			start = time.Now()
+		}
 		out, err := m.version.Infer(in)
+		if s.tel != nil {
+			s.tel.moduleLatency[i].Observe(time.Since(start).Seconds())
+		}
 		if err != nil {
 			return Decision[O]{}, nil, fmt.Errorf("core: inference on %s: %w", m.Name(), err)
 		}
 		proposals = append(proposals, Proposal[O]{Module: m.Name(), Value: out})
 	}
+	if s.tel != nil {
+		start = time.Now()
+	}
 	d := s.voter.Vote(proposals)
+	if s.tel != nil {
+		s.tel.voteLatency.Observe(time.Since(start).Seconds())
+	}
 	s.stats.Inferences++
 	if d.Skipped {
 		s.stats.Skips++
+		if len(proposals) > 0 {
+			s.stats.Divergences++
+		}
 	} else {
 		s.stats.Decisions++
+	}
+	if s.tel != nil {
+		s.tel.voterOutcome(t, &decisionOutcome{
+			skipped:   d.Skipped,
+			reason:    d.Reason,
+			proposals: len(proposals),
+		})
 	}
 	return d, proposals, nil
 }

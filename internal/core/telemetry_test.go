@@ -1,0 +1,201 @@
+package core
+
+import (
+	"testing"
+
+	"mvml/internal/obs"
+	"mvml/internal/xrand"
+)
+
+// stepRecord is the decision-relevant outcome of one Infer call.
+type stepRecord struct {
+	skipped  bool
+	value    int
+	agreeing int
+}
+
+// driveSystem runs a fault-injected system through a fixed inference
+// schedule and returns the full decision sequence.
+func driveSystem(t *testing.T, sys *System[int, int], steps int) []stepRecord {
+	t.Helper()
+	out := make([]stepRecord, 0, steps)
+	for i := 0; i < steps; i++ {
+		d, _, err := sys.Infer(float64(i)*0.25, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, stepRecord{skipped: d.Skipped, value: d.Value, agreeing: d.Agreeing})
+	}
+	return out
+}
+
+// TestInstrumentDoesNotAlterDecisions is the determinism regression test:
+// an instrumented run must produce exactly the decision sequence, stats,
+// and final module states of the uninstrumented run with the same seed.
+func TestInstrumentDoesNotAlterDecisions(t *testing.T) {
+	const steps = 2000
+	cfg := CaseStudyConfig()
+
+	build := func() *System[int, int] {
+		sys, err := NewSystem[int, int](testVersions(3), NewEqualityVoter[int](), cfg, xrand.New(42))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sys
+	}
+
+	plain := build()
+	instrumented := build()
+	instrumented.Instrument(obs.NewRegistry(), obs.NewTracer(1024))
+
+	seqA := driveSystem(t, plain, steps)
+	seqB := driveSystem(t, instrumented, steps)
+	for i := range seqA {
+		if seqA[i] != seqB[i] {
+			t.Fatalf("step %d diverged: plain %+v vs instrumented %+v", i, seqA[i], seqB[i])
+		}
+	}
+	if plain.Stats() != instrumented.Stats() {
+		t.Fatalf("stats diverged: %+v vs %+v", plain.Stats(), instrumented.Stats())
+	}
+	for i, m := range plain.Modules() {
+		if m.State() != instrumented.Modules()[i].State() {
+			t.Fatalf("module %d state diverged: %v vs %v", i, m.State(), instrumented.Modules()[i].State())
+		}
+	}
+}
+
+// TestTelemetryMirrorsStats checks the registry counters agree with the
+// System's own Stats after a long fault-injected run.
+func TestTelemetryMirrorsStats(t *testing.T) {
+	cfg := CaseStudyConfig()
+	sys, err := NewSystem[int, int](testVersions(3), NewEqualityVoter[int](), cfg, xrand.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	tr := obs.NewTracer(64)
+	sys.Instrument(reg, tr)
+	driveSystem(t, sys, 3000)
+	st := sys.Stats()
+	if st.Decisions == 0 || st.Compromises == 0 {
+		t.Fatalf("run too quiet to be meaningful: %+v", st)
+	}
+
+	decisions := reg.Counter(MetricVoterRounds, "outcome", "decision").Value()
+	skipNoMod := reg.Counter(MetricVoterRounds, "outcome", "skip_no_modules").Value()
+	skipDiv := reg.Counter(MetricVoterRounds, "outcome", "skip_divergence").Value()
+	if decisions != uint64(st.Decisions) {
+		t.Errorf("decision counter %d, stats %d", decisions, st.Decisions)
+	}
+	if skipNoMod+skipDiv != uint64(st.Skips) {
+		t.Errorf("skip counters %d+%d, stats %d", skipNoMod, skipDiv, st.Skips)
+	}
+	if skipDiv != uint64(st.Divergences) {
+		t.Errorf("divergence counter %d, stats %d", skipDiv, st.Divergences)
+	}
+
+	var rejuv uint64
+	for _, m := range reg.Snapshot() {
+		if m.Name == MetricRejuvenations {
+			rejuv += uint64(*m.Value)
+		}
+	}
+	if rejuv != uint64(st.ReactiveRejuvenations+st.ProactiveRejuvenations) {
+		t.Errorf("rejuvenation counters %d, stats %d+%d",
+			rejuv, st.ReactiveRejuvenations, st.ProactiveRejuvenations)
+	}
+
+	// Stats.Inferences counts voter rounds: the vote-latency histogram sees
+	// exactly one observation per round, while the per-module latency
+	// histograms sum to rounds x functional modules (between the all-dead
+	// and all-healthy extremes).
+	var voteCount, moduleCount uint64
+	for _, m := range reg.Snapshot() {
+		switch m.Name {
+		case MetricVoteLatency:
+			voteCount += m.Histogram.Count
+		case MetricInferenceLatency:
+			moduleCount += m.Histogram.Count
+		}
+	}
+	if voteCount != uint64(st.Inferences) {
+		t.Errorf("vote histogram count %d, stats %d rounds", voteCount, st.Inferences)
+	}
+	if moduleCount == 0 || moduleCount > 3*uint64(st.Inferences) {
+		t.Errorf("module inference count %d outside (0, 3x%d]", moduleCount, st.Inferences)
+	}
+
+	// The trace saw the same lifecycle the stats did.
+	if tr.Emitted() == 0 {
+		t.Error("no trace events emitted")
+	}
+}
+
+func TestInstrumentDetach(t *testing.T) {
+	sys, err := NewSystem[int, int](testVersions(3), NewEqualityVoter[int](), noFaultConfig(), xrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	sys.Instrument(reg, nil)
+	if _, _, err := sys.Infer(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	before := reg.Counter(MetricVoterRounds, "outcome", "decision").Value()
+	if before != 1 {
+		t.Fatalf("decision counter %d, want 1", before)
+	}
+	sys.Instrument(nil, nil) // detach
+	if _, _, err := sys.Infer(2, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter(MetricVoterRounds, "outcome", "decision").Value(); got != before {
+		t.Fatalf("detached system still counted: %d", got)
+	}
+}
+
+func TestStatsRatios(t *testing.T) {
+	var zero Stats
+	if zero.SkipRatio() != 0 || zero.DecisionRatio() != 0 || zero.DivergenceRatio() != 0 {
+		t.Fatal("zero-inference ratios must be 0, not NaN")
+	}
+	s := Stats{Inferences: 8, Skips: 2, Decisions: 6, Divergences: 1}
+	if s.SkipRatio() != 0.25 || s.DecisionRatio() != 0.75 || s.DivergenceRatio() != 0.125 {
+		t.Fatalf("ratios %v %v %v", s.SkipRatio(), s.DecisionRatio(), s.DivergenceRatio())
+	}
+}
+
+// benchSystem builds a no-fault system so the benchmark isolates the Infer
+// hot path itself.
+func benchSystem(b *testing.B) *System[int, int] {
+	b.Helper()
+	sys, err := NewSystem[int, int](testVersions(3), NewEqualityVoter[int](), noFaultConfig(), xrand.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sys
+}
+
+func BenchmarkInferUninstrumented(b *testing.B) {
+	sys := benchSystem(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := sys.Infer(float64(i), i); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInferInstrumented(b *testing.B) {
+	sys := benchSystem(b)
+	sys.Instrument(obs.NewRegistry(), nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := sys.Infer(float64(i), i); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -4,7 +4,9 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
+	"mvml/internal/obs"
 	"mvml/internal/xrand"
 )
 
@@ -22,7 +24,30 @@ type Config struct {
 	CruiseSpeed float64
 	// SensorRange limits perception to nearby objects (default 45 m).
 	SensorRange float64
+	// Metrics, when non-nil, receives frame counters, tick-latency
+	// histograms and ego-state gauges. Telemetry is purely observational:
+	// it consumes no draws from the run's rng, so instrumented and
+	// uninstrumented runs are decision-identical.
+	Metrics *obs.Registry
+	// Tracer, when non-nil, receives hazard events (collisions, perception
+	// skips, run completion) stamped with simulated time.
+	Tracer *obs.Tracer
 }
+
+// Drivesim metric names.
+const (
+	// MetricFrames counts simulated frames, labelled by route.
+	MetricFrames = "mvml_drivesim_frames_total"
+	// MetricCollisionFrames counts frames with ego/NPC overlap.
+	MetricCollisionFrames = "mvml_drivesim_collision_frames_total"
+	// MetricSkippedFrames counts frames on which perception safely skipped.
+	MetricSkippedFrames = "mvml_drivesim_skipped_frames_total"
+	// MetricTickLatency is the wall-clock duration of one simulation frame
+	// (traffic step + perception + planning + dynamics).
+	MetricTickLatency = "mvml_drivesim_tick_seconds"
+	// MetricEgoSpeed gauges the ego's current speed (m/s).
+	MetricEgoSpeed = "mvml_drivesim_ego_speed_mps"
+)
 
 func (c *Config) fillDefaults() {
 	if c.DT == 0 {
@@ -192,12 +217,26 @@ func Run(cfg Config, percept PerceptionSystem, rng *xrand.Rand) (*Result, error)
 	res := &Result{Route: townName, FirstCollisionFrame: -1}
 	account := &costAccount{}
 
+	// Telemetry handles; all nil (no-op) when cfg.Metrics is nil.
+	routeLabel := fmt.Sprintf("%d", cfg.RouteNumber)
+	cfg.Metrics.Help(MetricTickLatency, "Wall-clock duration of one simulation frame.")
+	frameCtr := cfg.Metrics.Counter(MetricFrames, "route", routeLabel)
+	collisionCtr := cfg.Metrics.Counter(MetricCollisionFrames, "route", routeLabel)
+	skipCtr := cfg.Metrics.Counter(MetricSkippedFrames, "route", routeLabel)
+	tickHist := cfg.Metrics.Histogram(MetricTickLatency, obs.LatencyBuckets())
+	speedGauge := cfg.Metrics.Gauge(MetricEgoSpeed)
+	wasColliding := false
+
 	// The planner holds the last commanded target speed across skipped
 	// frames (§VII-A: driving properties remain unchanged on a skip).
 	targetSpeed := cfg.CruiseSpeed
 
 	for frame := 0; frame < maxFrames; frame++ {
 		t := float64(frame) * cfg.DT
+		var tickStart time.Time
+		if cfg.Metrics != nil {
+			tickStart = time.Now()
+		}
 
 		// Advance traffic.
 		for _, n := range npcs {
@@ -221,6 +260,12 @@ func Run(cfg Config, percept PerceptionSystem, rng *xrand.Rand) (*Result, error)
 
 		if out.Skipped {
 			res.SkippedFrames++
+			skipCtr.Inc()
+			if cfg.Tracer != nil {
+				cfg.Tracer.Emit(t, "perception_skip", map[string]any{
+					"route": cfg.RouteNumber, "frame": frame,
+				})
+			}
 			// Hold the previous command.
 		} else {
 			targetSpeed = planSpeed(cfg, route, ego, out.Objects)
@@ -241,13 +286,26 @@ func Run(cfg Config, percept PerceptionSystem, rng *xrand.Rand) (*Result, error)
 		}
 		if colliding {
 			res.CollisionFrames++
+			collisionCtr.Inc()
 			if !res.Collided {
 				res.Collided = true
 				res.FirstCollisionFrame = frame
 			}
+			if !wasColliding && cfg.Tracer != nil {
+				cfg.Tracer.Emit(t, "collision", map[string]any{
+					"route": cfg.RouteNumber, "frame": frame,
+					"speed": ego.Speed,
+				})
+			}
 		}
+		wasColliding = colliding
 
 		res.TotalFrames++
+		frameCtr.Inc()
+		speedGauge.Set(ego.Speed)
+		if cfg.Metrics != nil {
+			tickHist.Observe(time.Since(tickStart).Seconds())
+		}
 		if route.NearestArcLength(ego.Pos) >= route.Length()-2 {
 			res.Completed = true
 			break
@@ -256,6 +314,15 @@ func Run(cfg Config, percept PerceptionSystem, rng *xrand.Rand) (*Result, error)
 	res.AvgFPS = account.fps()
 	res.AvgCPUUtil = account.cpuPct()
 	res.AvgGPUUtil = account.gpuPct()
+	if cfg.Tracer != nil {
+		cfg.Tracer.Emit(float64(res.TotalFrames)*cfg.DT, "run_end", map[string]any{
+			"route":     cfg.RouteNumber,
+			"frames":    res.TotalFrames,
+			"collided":  res.Collided,
+			"skipped":   res.SkippedFrames,
+			"completed": res.Completed,
+		})
+	}
 	return res, nil
 }
 

@@ -60,7 +60,11 @@ func driveArm(cfg CaseStudyConfig, makePipe func(seed uint64, rng *xrand.Rand) (
 			if err != nil {
 				return AblationRow{}, err
 			}
-			res, err := drivesim.Run(drivesim.Config{RouteNumber: route, CruiseSpeed: cfg.CruiseSpeed},
+			if p, ok := pipe.(*perception.Pipeline); ok {
+				p.Instrument(cfg.Obs.Metrics(), cfg.Obs.Tracer())
+			}
+			res, err := drivesim.Run(drivesim.Config{RouteNumber: route, CruiseSpeed: cfg.CruiseSpeed,
+				Metrics: cfg.Obs.Metrics(), Tracer: cfg.Obs.Tracer()},
 				pipe, root.Split("sim", seed))
 			if err != nil {
 				return AblationRow{}, err

@@ -5,6 +5,7 @@ import (
 
 	"mvml/internal/core"
 	"mvml/internal/drivesim"
+	"mvml/internal/obs"
 	"mvml/internal/perception"
 	"mvml/internal/stats"
 	"mvml/internal/xrand"
@@ -25,7 +26,17 @@ type CaseStudyConfig struct {
 	System core.Config
 	// Seed drives all runs.
 	Seed uint64
+	// Obs, when non-nil, instruments every pipeline and simulation run in
+	// the experiment: module state/rejuvenation series and latency
+	// histograms accumulate across runs in one registry, and per-run
+	// counters are recorded under mvml_experiment_runs_total. Telemetry is
+	// observational only and does not change any run's decisions.
+	Obs *obs.Runtime
 }
+
+// MetricExperimentRuns counts simulation runs executed by the experiment
+// harness, labelled by route and arm.
+const MetricExperimentRuns = "mvml_experiment_runs_total"
 
 // DefaultCaseStudyConfig returns the paper's §VII-A setup.
 func DefaultCaseStudyConfig() CaseStudyConfig {
@@ -73,15 +84,24 @@ func runRoute(cfg CaseStudyConfig, route int, rejuvenate bool, root *xrand.Rand)
 	agg.Runs = cfg.RunsPerRoute
 	var firstSum, firstN, totalSum, collFrames, frames int
 	var skipSum float64
+	arm := "with_rejuvenation"
+	if !rejuvenate {
+		arm = "without_rejuvenation"
+	}
 	for run := 0; run < cfg.RunsPerRoute; run++ {
 		seed := uint64(route*100 + run)
 		pipe, err := perception.NewPipeline(3, cfg.Detector, sysCfg, seed, root.Split("sys", seed))
 		if err != nil {
 			return RouteStats{}, err
 		}
+		pipe.Instrument(cfg.Obs.Metrics(), cfg.Obs.Tracer())
+		cfg.Obs.Metrics().Counter(MetricExperimentRuns,
+			"route", fmt.Sprintf("%d", route), "arm", arm).Inc()
 		res, err := drivesim.Run(drivesim.Config{
 			RouteNumber: route,
 			CruiseSpeed: cfg.CruiseSpeed,
+			Metrics:     cfg.Obs.Metrics(),
+			Tracer:      cfg.Obs.Tracer(),
 		}, pipe, root.Split("sim", seed))
 		if err != nil {
 			return RouteStats{}, err
@@ -300,7 +320,9 @@ func RunTableVIII(cfg CaseStudyConfig, runs int) (*TableVIIIResult, error) {
 			if err != nil {
 				return nil, err
 			}
-			r, err := drivesim.Run(drivesim.Config{RouteNumber: 1, CruiseSpeed: cfg.CruiseSpeed},
+			pipe.Instrument(cfg.Obs.Metrics(), cfg.Obs.Tracer())
+			r, err := drivesim.Run(drivesim.Config{RouteNumber: 1, CruiseSpeed: cfg.CruiseSpeed,
+				Metrics: cfg.Obs.Metrics(), Tracer: cfg.Obs.Tracer()},
 				pipe, root.Split("sim", seed))
 			if err != nil {
 				return nil, err

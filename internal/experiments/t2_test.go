@@ -6,6 +6,9 @@ import (
 )
 
 func TestTimingTableII(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training experiment skipped in -short mode")
+	}
 	res, err := RunTableII(QuickTableIIConfig())
 	if err != nil {
 		t.Fatal(err)

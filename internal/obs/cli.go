@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+)
+
+// CLI is the shared command-line wiring for telemetry: every cmd/ binary
+// registers the same flag set, calls Start before its run and Finish after.
+// Telemetry is opt-in — with none of the flags set, Start returns a nil
+// Runtime and the whole stack runs uninstrumented (nil no-op handles).
+type CLI struct {
+	// MetricsAddr serves Prometheus text exposition on this address
+	// ("host:port") for the lifetime of the process when non-empty.
+	MetricsAddr string
+	// SummaryPath receives the end-of-run JSON summary. Defaults to
+	// DefaultSummaryPath when telemetry is enabled by another flag.
+	SummaryPath string
+	// TracePath receives the retained trace events as JSONL.
+	TracePath string
+	// TraceCapacity bounds the trace ring buffer.
+	TraceCapacity int
+	// Hold keeps the metrics endpoint up for this long after Finish, so
+	// short runs can still be scraped.
+	Hold time.Duration
+
+	rt  *Runtime
+	srv *http.Server
+	ln  net.Listener
+}
+
+// DefaultSummaryPath is where the JSON run summary lands when telemetry is
+// enabled without an explicit -telemetry-out.
+const DefaultSummaryPath = "mvml-telemetry.json"
+
+// RegisterFlags installs the telemetry flags on fs.
+func (c *CLI) RegisterFlags(fs *flag.FlagSet) {
+	fs.StringVar(&c.MetricsAddr, "metrics-addr", "",
+		"serve Prometheus metrics on this address (e.g. :9090) and enable telemetry")
+	fs.StringVar(&c.SummaryPath, "telemetry-out", "",
+		fmt.Sprintf("write the JSON telemetry summary here and enable telemetry (default %s when another telemetry flag is set)", DefaultSummaryPath))
+	fs.StringVar(&c.TracePath, "trace-out", "",
+		"write the JSONL event trace here and enable telemetry")
+	fs.IntVar(&c.TraceCapacity, "trace-capacity", DefaultTraceCapacity,
+		"event-trace ring buffer capacity")
+	fs.DurationVar(&c.Hold, "metrics-hold", 0,
+		"keep the metrics endpoint up this long after the run finishes")
+}
+
+// Enabled reports whether any telemetry flag turns collection on.
+func (c *CLI) Enabled() bool {
+	return c.MetricsAddr != "" || c.SummaryPath != "" || c.TracePath != ""
+}
+
+// Start builds the Runtime and, when requested, brings up the metrics
+// endpoint. It returns (nil, nil) when telemetry is disabled.
+func (c *CLI) Start() (*Runtime, error) {
+	if !c.Enabled() {
+		return nil, nil
+	}
+	if c.SummaryPath == "" {
+		c.SummaryPath = DefaultSummaryPath
+	}
+	c.rt = NewRuntime(c.TraceCapacity)
+	if c.MetricsAddr != "" {
+		ln, err := net.Listen("tcp", c.MetricsAddr)
+		if err != nil {
+			return nil, fmt.Errorf("obs: metrics listener: %w", err)
+		}
+		c.ln = ln
+		c.srv = &http.Server{Handler: c.rt.Metrics().Handler()}
+		go func() { _ = c.srv.Serve(ln) }()
+		fmt.Fprintf(os.Stderr, "obs: serving metrics on http://%s/metrics\n", ln.Addr())
+	}
+	return c.rt, nil
+}
+
+// Finish writes the summary and trace artifacts, honours -metrics-hold, and
+// shuts the endpoint down. extra is embedded verbatim in the summary's
+// "extra" field. Safe to call when telemetry is disabled.
+func (c *CLI) Finish(extra map[string]any) error {
+	if c.rt == nil {
+		return nil
+	}
+	if c.SummaryPath != "" {
+		f, err := os.Create(c.SummaryPath)
+		if err != nil {
+			return fmt.Errorf("obs: summary: %w", err)
+		}
+		err = BuildSummary(c.rt.Metrics(), c.rt.Tracer(), extra).WriteJSON(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("obs: summary: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "obs: wrote telemetry summary to %s\n", c.SummaryPath)
+	}
+	if c.TracePath != "" {
+		f, err := os.Create(c.TracePath)
+		if err != nil {
+			return fmt.Errorf("obs: trace: %w", err)
+		}
+		err = c.rt.Tracer().WriteJSONL(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("obs: trace: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "obs: wrote %d trace events to %s\n", c.rt.Tracer().Len(), c.TracePath)
+	}
+	if c.srv != nil {
+		if c.Hold > 0 {
+			fmt.Fprintf(os.Stderr, "obs: holding metrics endpoint for %s\n", c.Hold)
+			time.Sleep(c.Hold)
+		}
+		_ = c.srv.Close()
+	}
+	return nil
+}

@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"flag"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCLIDisabledIsNoOp(t *testing.T) {
+	var c CLI
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	c.RegisterFlags(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if c.Enabled() {
+		t.Fatal("no flags set but Enabled")
+	}
+	rt, err := c.Start()
+	if err != nil || rt != nil {
+		t.Fatalf("disabled Start = (%v, %v), want (nil, nil)", rt, err)
+	}
+	if err := c.Finish(nil); err != nil {
+		t.Fatalf("disabled Finish: %v", err)
+	}
+}
+
+func TestCLIStartFinishArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	var c CLI
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	c.RegisterFlags(fs)
+	args := []string{
+		"-metrics-addr", "127.0.0.1:0",
+		"-telemetry-out", filepath.Join(dir, "summary.json"),
+		"-trace-out", filepath.Join(dir, "trace.jsonl"),
+		"-trace-capacity", "4",
+	}
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	rt, err := c.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt == nil || rt.Metrics() == nil || rt.Tracer() == nil {
+		t.Fatal("enabled Start must return a live runtime")
+	}
+	rt.Metrics().Counter("mvml_clitest_total").Inc()
+	rt.Tracer().Emit(1, "clitest", nil)
+
+	// The live endpoint serves the counter while the run is in flight.
+	resp, err := http.Get("http://" + c.ln.Addr().String() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "mvml_clitest_total 1") {
+		t.Fatalf("live exposition missing counter:\n%s", body)
+	}
+
+	if err := c.Finish(map[string]any{"command": "clitest"}); err != nil {
+		t.Fatal(err)
+	}
+	sum, err := os.ReadFile(filepath.Join(dir, "summary.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(sum), `"mvml_clitest_total"`) || !strings.Contains(string(sum), `"clitest"`) {
+		t.Fatalf("summary content:\n%s", sum)
+	}
+	trace, err := os.ReadFile(filepath.Join(dir, "trace.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(trace), `"type":"clitest"`) {
+		t.Fatalf("trace content:\n%s", trace)
+	}
+	// The endpoint is torn down after Finish.
+	if _, err := http.Get("http://" + c.ln.Addr().String() + "/metrics"); err == nil {
+		t.Fatal("metrics endpoint still up after Finish")
+	}
+}
+
+func TestCLISummaryPathDefaults(t *testing.T) {
+	var c CLI
+	c.MetricsAddr = "127.0.0.1:0"
+	rt, err := c.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt == nil {
+		t.Fatal("nil runtime")
+	}
+	if c.SummaryPath != DefaultSummaryPath {
+		t.Fatalf("summary path %q, want default %q", c.SummaryPath, DefaultSummaryPath)
+	}
+	// Redirect the default into a temp dir before Finish writes it.
+	c.SummaryPath = filepath.Join(t.TempDir(), "s.json")
+	if err := c.Finish(nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(c.SummaryPath); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,200 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// Histogram is a streaming histogram over fixed bucket upper bounds, safe
+// for concurrent observation. Observations are lock-free: each falls into
+// the first bucket whose upper bound is >= the value (the last, implicit
+// +Inf bucket catches the rest), and a running sum/count supports the mean.
+// Quantiles are estimated by linear interpolation inside the containing
+// bucket, the same scheme Prometheus' histogram_quantile uses.
+//
+// A nil *Histogram is a valid no-op handle.
+type Histogram struct {
+	bounds []float64       // sorted, finite upper bounds
+	counts []atomic.Uint64 // len(bounds)+1; last is the +Inf bucket
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// NewHistogram builds a histogram over the given finite upper bounds. The
+// bounds are copied, sorted and deduplicated; non-finite bounds are dropped
+// (the +Inf overflow bucket always exists). An empty bound list yields a
+// single-bucket histogram that still tracks count/sum/mean.
+func NewHistogram(bounds []float64) *Histogram {
+	bs := make([]float64, 0, len(bounds))
+	for _, b := range bounds {
+		if !math.IsInf(b, 0) && !math.IsNaN(b) {
+			bs = append(bs, b)
+		}
+	}
+	sort.Float64s(bs)
+	dedup := bs[:0]
+	for i, b := range bs {
+		if i == 0 || b != bs[i-1] {
+			dedup = append(dedup, b)
+		}
+	}
+	return &Histogram{bounds: dedup, counts: make([]atomic.Uint64, len(dedup)+1)}
+}
+
+// DefBuckets returns the conventional Prometheus default bounds, suitable
+// for request latencies measured in seconds down to 5 ms.
+func DefBuckets() []float64 {
+	return []float64{.005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10}
+}
+
+// LatencyBuckets returns exponential bounds from 1 µs to ~2 s, matched to
+// in-process inference and simulation-tick timings.
+func LatencyBuckets() []float64 {
+	return ExpBuckets(1e-6, 2, 21)
+}
+
+// ExpBuckets returns n bounds starting at start and growing by factor.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if n <= 0 || start <= 0 || factor <= 1 {
+		return nil
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// LinearBuckets returns n bounds starting at start, spaced by width.
+func LinearBuckets(start, width float64, n int) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start + float64(i)*width
+	}
+	return out
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// First bucket with bound >= v; len(bounds) is the +Inf bucket.
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations (0 for a nil handle).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observations (0 for a nil handle).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// Mean returns the average observation, or 0 when empty.
+func (h *Histogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return h.Sum() / float64(n)
+}
+
+// Bounds returns the finite bucket upper bounds (shared slice; do not
+// mutate).
+func (h *Histogram) Bounds() []float64 {
+	if h == nil {
+		return nil
+	}
+	return h.bounds
+}
+
+// BucketCounts returns a snapshot of per-bucket (non-cumulative) counts,
+// with the overflow (+Inf) bucket last.
+func (h *Histogram) BucketCounts() []uint64 {
+	if h == nil {
+		return nil
+	}
+	out := make([]uint64, len(h.counts))
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) by linear interpolation
+// within the containing bucket, assuming the first bucket starts at 0 (or at
+// the first bound when it is negative). Observations in the +Inf overflow
+// bucket are attributed to the largest finite bound. Returns 0 when the
+// histogram is empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	counts := h.BucketCounts()
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum float64
+	for i, c := range counts {
+		prev := cum
+		cum += float64(c)
+		if cum < rank || c == 0 {
+			continue
+		}
+		if i == len(h.bounds) {
+			// Overflow bucket: the largest finite bound is the best
+			// available estimate.
+			if len(h.bounds) == 0 {
+				return 0
+			}
+			return h.bounds[len(h.bounds)-1]
+		}
+		upper := h.bounds[i]
+		lower := 0.0
+		if i > 0 {
+			lower = h.bounds[i-1]
+		} else if upper < 0 {
+			lower = upper
+		}
+		return lower + (upper-lower)*(rank-prev)/float64(c)
+	}
+	if len(h.bounds) == 0 {
+		return 0
+	}
+	return h.bounds[len(h.bounds)-1]
+}

@@ -1,0 +1,59 @@
+// Package obs is the repository's observability substrate: a
+// concurrency-safe metrics registry (atomic counters, gauges and streaming
+// histograms with quantile estimation), a structured event tracer backed by
+// a bounded ring buffer with a JSONL sink, and two exposition paths —
+// Prometheus text format over net/http and an end-of-run JSON summary.
+//
+// The package is pure stdlib and designed around two guarantees the
+// simulation stack depends on:
+//
+//   - Nil no-op: every handle (*Registry, *Counter, *Gauge, *Histogram,
+//     *Tracer, *Runtime) treats a nil receiver as "telemetry disabled" and
+//     does nothing, allocating nothing. Instrumented code paths therefore
+//     need no feature flags — an uninstrumented run passes nil handles and
+//     pays only a predictable nil check.
+//
+//   - Determinism: no function in this package consumes xrand draws or any
+//     other source of simulation randomness, so attaching telemetry never
+//     perturbs a run's decision sequence. (Latency observations read the
+//     wall clock, which affects only the recorded values, never control
+//     flow.)
+package obs
+
+// Runtime bundles a metrics registry and an event tracer, the pair every
+// instrumented component accepts. A nil *Runtime is valid and yields nil
+// (no-op) handles, so callers can thread cfg.Obs.Metrics()/cfg.Obs.Tracer()
+// unconditionally.
+type Runtime struct {
+	reg    *Registry
+	tracer *Tracer
+}
+
+// DefaultTraceCapacity is the ring-buffer size used when NewRuntime is
+// called with a non-positive capacity.
+const DefaultTraceCapacity = 8192
+
+// NewRuntime returns a Runtime with a fresh registry and a tracer holding up
+// to traceCapacity events (DefaultTraceCapacity when <= 0).
+func NewRuntime(traceCapacity int) *Runtime {
+	if traceCapacity <= 0 {
+		traceCapacity = DefaultTraceCapacity
+	}
+	return &Runtime{reg: NewRegistry(), tracer: NewTracer(traceCapacity)}
+}
+
+// Metrics returns the registry, or nil for a nil Runtime.
+func (r *Runtime) Metrics() *Registry {
+	if r == nil {
+		return nil
+	}
+	return r.reg
+}
+
+// Tracer returns the event tracer, or nil for a nil Runtime.
+func (r *Runtime) Tracer() *Tracer {
+	if r == nil {
+		return nil
+	}
+	return r.tracer
+}

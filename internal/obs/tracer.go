@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Event is one structured trace record. Time is the component's own clock —
+// simulated seconds for the simulation stack — so traces from deterministic
+// runs are themselves deterministic; Seq is a global emission index that
+// survives ring-buffer eviction (the oldest retained event's Seq reveals how
+// many were dropped).
+type Event struct {
+	Seq   uint64         `json:"seq"`
+	Time  float64        `json:"t"`
+	Type  string         `json:"type"`
+	Attrs map[string]any `json:"attrs,omitempty"`
+}
+
+// Tracer collects events into a bounded ring buffer: emission is O(1), the
+// newest `capacity` events are retained, and the total emitted/dropped
+// counts are tracked. A nil *Tracer is a valid no-op handle.
+type Tracer struct {
+	mu      sync.Mutex
+	buf     []Event
+	start   int // index of the oldest event
+	size    int
+	next    uint64 // next Seq
+	dropped uint64
+}
+
+// NewTracer returns a tracer retaining up to capacity events (minimum 1).
+func NewTracer(capacity int) *Tracer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Tracer{buf: make([]Event, capacity)}
+}
+
+// Emit appends an event. Attrs may be nil; the map is stored as-is, so
+// callers must not mutate it afterwards.
+func (t *Tracer) Emit(time float64, typ string, attrs map[string]any) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e := Event{Seq: t.next, Time: time, Type: typ, Attrs: attrs}
+	t.next++
+	if t.size < len(t.buf) {
+		t.buf[(t.start+t.size)%len(t.buf)] = e
+		t.size++
+		return
+	}
+	t.buf[t.start] = e
+	t.start = (t.start + 1) % len(t.buf)
+	t.dropped++
+}
+
+// Events returns the retained events, oldest first.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, t.size)
+	for i := 0; i < t.size; i++ {
+		out[i] = t.buf[(t.start+i)%len(t.buf)]
+	}
+	return out
+}
+
+// Len returns the number of retained events.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.size
+}
+
+// Emitted returns the total number of events ever emitted.
+func (t *Tracer) Emitted() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.next
+}
+
+// Dropped returns how many events the ring evicted.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// WriteJSONL writes the retained events as JSON Lines, oldest first.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, e := range t.Events() {
+		if err := enc.Encode(e); err != nil {
+			return fmt.Errorf("obs: encoding trace event %d: %w", e.Seq, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses a JSON Lines trace back into events (blank lines are
+// skipped), the inverse of WriteJSONL.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	var out []Event
+	dec := json.NewDecoder(r)
+	for {
+		var e Event
+		if err := dec.Decode(&e); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("obs: decoding trace line %d: %w", len(out)+1, err)
+		}
+		out = append(out, e)
+	}
+}

@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTracerRingEviction(t *testing.T) {
+	tr := NewTracer(3)
+	for i := 0; i < 5; i++ {
+		tr.Emit(float64(i), "e", nil)
+	}
+	if tr.Emitted() != 5 || tr.Len() != 3 || tr.Dropped() != 2 {
+		t.Fatalf("emitted=%d len=%d dropped=%d", tr.Emitted(), tr.Len(), tr.Dropped())
+	}
+	evs := tr.Events()
+	// The newest 3 survive, oldest first, with their original Seq numbers.
+	for i, want := range []uint64{2, 3, 4} {
+		if evs[i].Seq != want || evs[i].Time != float64(want) {
+			t.Fatalf("events %+v", evs)
+		}
+	}
+}
+
+func TestTracerCapacityFloor(t *testing.T) {
+	tr := NewTracer(0)
+	tr.Emit(1, "a", nil)
+	tr.Emit(2, "b", nil)
+	if tr.Len() != 1 || tr.Events()[0].Type != "b" {
+		t.Fatalf("capacity floor: %+v", tr.Events())
+	}
+}
+
+func TestTraceJSONLRoundTrip(t *testing.T) {
+	tr := NewTracer(16)
+	tr.Emit(0.5, "state_transition", map[string]any{"module": "v1", "from": "H", "to": "C"})
+	tr.Emit(1.25, "collision", nil)
+	tr.Emit(2, "run_end", map[string]any{"frames": float64(120), "completed": true})
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(buf.String(), "\n"); got != 3 {
+		t.Fatalf("%d lines, want 3:\n%s", got, buf.String())
+	}
+
+	back, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tr.Events()
+	if len(back) != len(want) {
+		t.Fatalf("round-trip %d events, want %d", len(back), len(want))
+	}
+	for i := range want {
+		if back[i].Seq != want[i].Seq || back[i].Time != want[i].Time || back[i].Type != want[i].Type {
+			t.Fatalf("event %d mismatch: %+v vs %+v", i, back[i], want[i])
+		}
+	}
+	if back[0].Attrs["module"] != "v1" || back[2].Attrs["completed"] != true {
+		t.Fatalf("attrs lost: %+v", back)
+	}
+	// Blank lines and surrounding whitespace are tolerated.
+	evs, err := ReadJSONL(strings.NewReader("\n{\"seq\":9,\"t\":1,\"type\":\"x\"}\n\n"))
+	if err != nil || len(evs) != 1 || evs[0].Seq != 9 {
+		t.Fatalf("blank-line parse: %v %+v", err, evs)
+	}
+}
+
+func TestReadJSONLBadInput(t *testing.T) {
+	if _, err := ReadJSONL(strings.NewReader("{not json")); err == nil {
+		t.Fatal("expected decode error")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"mvml/internal/obs"
 	"mvml/internal/stats"
 	"mvml/internal/xrand"
 )
@@ -21,7 +22,24 @@ type SimConfig struct {
 	Level float64
 	// MaxEvents bounds the number of transition firings (default 50e6).
 	MaxEvents int
+	// Metrics, when non-nil, receives per-transition firing counters and a
+	// simulated-time progress gauge (labelled by net name). Purely
+	// observational: no rng draws are consumed, so instrumented runs fire
+	// the same transition sequence.
+	Metrics *obs.Registry
+	// Tracer, when non-nil, receives one end-of-run event summarising the
+	// simulation.
+	Tracer *obs.Tracer
 }
+
+// Petri metric names.
+const (
+	// MetricFirings counts transition firings, labelled by net and
+	// transition.
+	MetricFirings = "mvml_petri_firings_total"
+	// MetricSimTime gauges the current simulated time, labelled by net.
+	MetricSimTime = "mvml_petri_sim_time"
+)
 
 func (c *SimConfig) fillDefaults() {
 	if c.Batches == 0 {
@@ -116,6 +134,30 @@ func Simulate(net *Net, cfg SimConfig, reward func(Marking) float64, rng *xrand.
 
 	var now float64
 
+	// Telemetry: firing counters are resolved lazily per transition and
+	// cached, so the hot loop performs map lookups on pointers rather than
+	// registry (mutex + string) lookups. All no-ops when Metrics is nil.
+	var firingCtrs map[*Transition]*obs.Counter
+	var simTimeGauge *obs.Gauge
+	if cfg.Metrics != nil {
+		cfg.Metrics.Help(MetricFirings, "Transition firings per net and transition.")
+		cfg.Metrics.Help(MetricSimTime, "Simulated-time progress of the current/last run.")
+		firingCtrs = make(map[*Transition]*obs.Counter)
+		simTimeGauge = cfg.Metrics.Gauge(MetricSimTime, "net", net.Name())
+	}
+	recordFiring := func(t *Transition) {
+		if firingCtrs == nil {
+			return
+		}
+		c, ok := firingCtrs[t]
+		if !ok {
+			c = cfg.Metrics.Counter(MetricFirings, "net", net.Name(), "transition", t.Name)
+			firingCtrs[t] = c
+		}
+		c.Inc()
+		simTimeGauge.Set(now)
+	}
+
 	fireImmediates := func() error {
 		for chain := 0; ; chain++ {
 			enabled := net.EnabledImmediate(m)
@@ -136,6 +178,7 @@ func Simulate(net *Net, cfg SimConfig, reward func(Marking) float64, rng *xrand.
 			}
 			m = next
 			res.Events++
+			recordFiring(t)
 			// Drop deterministic clocks of transitions the firing disabled.
 			for dt := range detRemaining {
 				if !dt.EnabledIn(m) {
@@ -253,6 +296,7 @@ func Simulate(net *Net, cfg SimConfig, reward func(Marking) float64, rng *xrand.
 		}
 		m = next
 		res.Events++
+		recordFiring(winner)
 		for t := range detRemaining {
 			if !t.EnabledIn(m) {
 				delete(detRemaining, t)
@@ -288,6 +332,14 @@ func Simulate(net *Net, cfg SimConfig, reward func(Marking) float64, rng *xrand.
 				res.RewardCI = ci
 			}
 		}
+	}
+	if cfg.Tracer != nil {
+		cfg.Tracer.Emit(now, "petri_run_end", map[string]any{
+			"net":      net.Name(),
+			"events":   res.Events,
+			"observed": res.Observed,
+			"markings": len(res.Occupancy),
+		})
 	}
 	return res, nil
 }

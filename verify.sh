@@ -1,0 +1,31 @@
+#!/bin/sh
+# verify.sh — the repo's full verification gate: formatting, vet, build,
+# and the complete test suite under the race detector.
+set -eu
+cd "$(dirname "$0")"
+
+echo "==> gofmt"
+unformatted=$(gofmt -l cmd internal examples bench_test.go)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go build ./..."
+go build ./...
+
+# Race pass: -short skips the NN-training marathons, which run 10-40x
+# slower under the race detector and hold no concurrency of their own;
+# everything concurrent (obs registry/tracer, exposition) stays covered.
+echo "==> go test -race -short ./..."
+go test -race -short ./...
+
+# Full pass without the race detector: every test, including training.
+echo "==> go test ./..."
+go test ./...
+
+echo "OK"
