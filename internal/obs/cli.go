@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net"
@@ -73,7 +74,8 @@ func (c *CLI) Start() (*Runtime, error) {
 		}
 		c.ln = ln
 		c.srv = &http.Server{Handler: c.rt.Metrics().Handler()}
-		go func() { _ = c.srv.Serve(ln) }()
+		srv := c.srv
+		go func() { _ = srv.Serve(ln) }()
 		fmt.Fprintf(os.Stderr, "obs: serving metrics on http://%s/metrics\n", ln.Addr())
 	}
 	return c.rt, nil
@@ -119,7 +121,49 @@ func (c *CLI) Finish(extra map[string]any) error {
 			fmt.Fprintf(os.Stderr, "obs: holding metrics endpoint for %s\n", c.Hold)
 			time.Sleep(c.Hold)
 		}
-		_ = c.srv.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+		defer cancel()
+		if err := c.Shutdown(ctx); err != nil {
+			return fmt.Errorf("obs: metrics shutdown: %w", err)
+		}
 	}
 	return nil
+}
+
+// shutdownGrace bounds how long Finish waits for in-flight scrapes before
+// forcing the metrics endpoint closed.
+const shutdownGrace = 5 * time.Second
+
+// ListenAddr returns the metrics endpoint's bound address (useful when
+// MetricsAddr requested an ephemeral port), or "" when no endpoint is up.
+func (c *CLI) ListenAddr() string {
+	if c.ln == nil {
+		return ""
+	}
+	return c.ln.Addr().String()
+}
+
+// Shutdown gracefully stops the metrics HTTP server: the listener closes
+// immediately (so the port is released for reuse) and in-flight scrapes get
+// until ctx's deadline to complete, after which the server is forced closed.
+// Safe to call when no endpoint is running, and idempotent.
+func (c *CLI) Shutdown(ctx context.Context) error {
+	if c.srv == nil {
+		return nil
+	}
+	// Close the listener directly: Serve may not have registered it with the
+	// server yet (it runs on its own goroutine), and the port must be free
+	// the moment Shutdown returns.
+	if c.ln != nil {
+		_ = c.ln.Close()
+	}
+	err := c.srv.Shutdown(ctx)
+	if err != nil {
+		// The deadline expired with responses still in flight; Close tears
+		// the connections down so the process can exit.
+		_ = c.srv.Close()
+	}
+	c.srv = nil
+	c.ln = nil
+	return err
 }

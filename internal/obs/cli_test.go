@@ -1,8 +1,10 @@
 package obs
 
 import (
+	"context"
 	"flag"
 	"io"
+	"net"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -54,7 +56,8 @@ func TestCLIStartFinishArtifacts(t *testing.T) {
 	rt.Tracer().Emit(1, "clitest", nil)
 
 	// The live endpoint serves the counter while the run is in flight.
-	resp, err := http.Get("http://" + c.ln.Addr().String() + "/metrics")
+	addr := c.ListenAddr()
+	resp, err := http.Get("http://" + addr + "/metrics")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,8 +85,57 @@ func TestCLIStartFinishArtifacts(t *testing.T) {
 		t.Fatalf("trace content:\n%s", trace)
 	}
 	// The endpoint is torn down after Finish.
-	if _, err := http.Get("http://" + c.ln.Addr().String() + "/metrics"); err == nil {
+	if _, err := http.Get("http://" + addr + "/metrics"); err == nil {
 		t.Fatal("metrics endpoint still up after Finish")
+	}
+}
+
+// TestFinishReleasesMetricsPort proves the graceful shutdown gives the port
+// back: after Finish, binding the exact same address must succeed.
+func TestFinishReleasesMetricsPort(t *testing.T) {
+	var c CLI
+	c.MetricsAddr = "127.0.0.1:0"
+	c.SummaryPath = filepath.Join(t.TempDir(), "s.json")
+	if _, err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	addr := c.ListenAddr()
+	if addr == "" {
+		t.Fatal("no listen address while endpoint is up")
+	}
+	if err := c.Finish(nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.ListenAddr(); got != "" {
+		t.Fatalf("ListenAddr after Finish = %q, want empty", got)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatalf("port %s not released after Finish: %v", addr, err)
+	}
+	ln.Close()
+}
+
+// TestShutdownIdempotent: Shutdown on a CLI that never started an endpoint,
+// and a second Shutdown after a successful one, are both no-ops.
+func TestShutdownIdempotent(t *testing.T) {
+	var c CLI
+	if err := c.Shutdown(context.Background()); err != nil {
+		t.Fatalf("shutdown without endpoint: %v", err)
+	}
+	c.MetricsAddr = "127.0.0.1:0"
+	c.SummaryPath = filepath.Join(t.TempDir(), "s.json")
+	if _, err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Shutdown(context.Background()); err != nil {
+		t.Fatalf("second shutdown: %v", err)
+	}
+	if err := c.Finish(nil); err != nil {
+		t.Fatalf("finish after shutdown: %v", err)
 	}
 }
 

@@ -153,8 +153,10 @@ func canonLabels(kv []string) ([]Label, string) {
 }
 
 // getSeries finds or creates the series for (name, labels), enforcing that a
-// metric name keeps a single type for its lifetime.
-func (r *Registry) getSeries(name string, typ metricType, kv []string) *series {
+// metric name keeps a single type for its lifetime. The series' handle is
+// allocated under the registry lock (see the typ switch), so concurrent
+// lookups of a new series observe exactly one Counter/Gauge/Histogram.
+func (r *Registry) getSeries(name string, typ metricType, buckets []float64, kv []string) *series {
 	labels, key := canonLabels(kv)
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -170,6 +172,14 @@ func (r *Registry) getSeries(name string, typ metricType, kv []string) *series {
 	s := f.series[key]
 	if s == nil {
 		s = &series{labels: labels, key: key}
+		switch typ {
+		case typeCounter:
+			s.c = &Counter{}
+		case typeGauge:
+			s.g = &Gauge{}
+		case typeHistogram:
+			s.h = NewHistogram(buckets)
+		}
 		f.series[key] = s
 	}
 	return s
@@ -181,11 +191,7 @@ func (r *Registry) Counter(name string, kv ...string) *Counter {
 	if r == nil {
 		return nil
 	}
-	s := r.getSeries(name, typeCounter, kv)
-	if s.c == nil {
-		s.c = &Counter{}
-	}
-	return s.c
+	return r.getSeries(name, typeCounter, nil, kv).c
 }
 
 // Gauge returns the gauge for name and labels, creating it on first use.
@@ -194,11 +200,7 @@ func (r *Registry) Gauge(name string, kv ...string) *Gauge {
 	if r == nil {
 		return nil
 	}
-	s := r.getSeries(name, typeGauge, kv)
-	if s.g == nil {
-		s.g = &Gauge{}
-	}
-	return s.g
+	return r.getSeries(name, typeGauge, nil, kv).g
 }
 
 // Histogram returns the histogram for name and labels, creating it with the
@@ -208,11 +210,7 @@ func (r *Registry) Histogram(name string, buckets []float64, kv ...string) *Hist
 	if r == nil {
 		return nil
 	}
-	s := r.getSeries(name, typeHistogram, kv)
-	if s.h == nil {
-		s.h = NewHistogram(buckets)
-	}
-	return s.h
+	return r.getSeries(name, typeHistogram, buckets, kv).h
 }
 
 // Help attaches a HELP string to a metric family (created lazily if the

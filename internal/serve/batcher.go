@@ -1,0 +1,188 @@
+package serve
+
+import (
+	"time"
+
+	"mvml/internal/core"
+	"mvml/internal/nn"
+	"mvml/internal/tensor"
+)
+
+// batchLoop is the micro-batching scheduler: it collects queued requests
+// until either MaxBatch is reached or MaxBatchWait has elapsed since the
+// batch's first request, stacks the images into one tensor, fans the batch
+// out to every version's worker pool, gathers proposals until the earliest
+// request deadline, and votes per sample.
+func (s *Server) batchLoop() {
+	defer s.stopped.Done()
+	for {
+		if gate := s.cfg.batchGate; gate != nil {
+			select {
+			case <-gate:
+			case <-s.stop:
+				return
+			}
+		}
+		var first *request
+		select {
+		case first = <-s.queue:
+		case <-s.stop:
+			return
+		}
+		batch := s.collect(first)
+		s.m.queueDepth.Set(float64(s.depth.Add(-int64(len(batch)))))
+		s.m.batchSize.Observe(float64(len(batch)))
+		s.m.batches.Inc()
+		s.dispatch(batch)
+	}
+}
+
+// collect gathers up to MaxBatch requests, waiting at most MaxBatchWait
+// beyond the first one.
+func (s *Server) collect(first *request) []*request {
+	batch := append(make([]*request, 0, s.cfg.MaxBatch), first)
+	if s.cfg.MaxBatch == 1 {
+		return batch
+	}
+	timer := time.NewTimer(s.cfg.MaxBatchWait)
+	defer timer.Stop()
+	for len(batch) < s.cfg.MaxBatch {
+		select {
+		case req := <-s.queue:
+			batch = append(batch, req)
+		case <-timer.C:
+			return batch
+		case <-s.stop:
+			return batch
+		}
+	}
+	return batch
+}
+
+// dispatch runs one batch end to end: stack → fan out → gather → vote.
+func (s *Server) dispatch(batch []*request) {
+	images := make([]*tensor.Tensor, len(batch))
+	for i, req := range batch {
+		images[i] = req.image
+	}
+	stacked, err := nn.Stack(images)
+	if err != nil {
+		s.fail(batch, err)
+		return
+	}
+
+	job := batchJob{batch: stacked, out: make(chan versionAnswer, len(s.pools))}
+	submitted := 0
+	for _, p := range s.pools {
+		if p.trySubmit(job) {
+			submitted++
+		}
+	}
+
+	// Gather until every submitted version answered or the earliest request
+	// deadline passes; late answers land in the buffered channel and are
+	// discarded, so no worker ever blocks.
+	preds := make([][]int, len(s.pools))
+	deadline := batch[0].deadline
+	for _, req := range batch[1:] {
+		if req.deadline.Before(deadline) {
+			deadline = req.deadline
+		}
+	}
+	timer := time.NewTimer(time.Until(deadline))
+	defer timer.Stop()
+gather:
+	for got := 0; got < submitted; {
+		select {
+		case ans := <-job.out:
+			got++
+			if ans.err == nil {
+				preds[ans.version] = ans.preds
+			}
+		case <-timer.C:
+			break gather
+		}
+	}
+	s.vote(batch, preds)
+	s.maybeReact()
+}
+
+// vote runs the majority voter per sample over the versions that answered,
+// degrading gracefully: a safe skip falls back to the first available
+// proposal (in fixed version order, so responses are deterministic), and
+// only a total absence of proposals fails the request.
+func (s *Server) vote(batch []*request, preds [][]int) {
+	proposals := make([]core.Proposal[int], 0, len(s.pools))
+	for i, req := range batch {
+		proposals = proposals[:0]
+		for v, p := range preds {
+			if p != nil {
+				proposals = append(proposals, core.Proposal[int]{
+					Module: s.pools[v].name,
+					Value:  p[i],
+				})
+			}
+		}
+		dec := s.voter.Vote(proposals)
+
+		var res Result
+		switch {
+		case !dec.Skipped:
+			res = Result{
+				Class:     dec.Value,
+				Agreeing:  dec.Agreeing,
+				Proposals: dec.Proposals,
+			}
+			if dec.Proposals < len(s.pools) {
+				res.Degraded = true
+				res.Reason = "partial ensemble"
+			}
+		case len(proposals) > 0:
+			// Graceful degradation: the voter safely skipped (divergence),
+			// but an answer is still owed — serve the first proposal and
+			// tag it so the client can weigh its trust.
+			res = Result{
+				Class:     proposals[0].Value,
+				Degraded:  true,
+				Reason:    "voter skipped: " + dec.Reason,
+				Agreeing:  1,
+				Proposals: dec.Proposals,
+			}
+		default:
+			res = Result{Err: ErrNoProposals, Reason: dec.Reason}
+		}
+
+		// Feed the reactive trigger: versions are judged against the voted
+		// output only when a real majority existed.
+		if !dec.Skipped {
+			for v, p := range preds {
+				if p != nil {
+					s.pools[v].observe(p[i] != dec.Value)
+				}
+			}
+		}
+
+		s.finish(req, res)
+	}
+}
+
+// finish completes one request: metrics, then exactly one send on done.
+func (s *Server) finish(req *request, res Result) {
+	s.m.requests.Inc()
+	if res.Err != nil {
+		s.m.failed.Inc()
+	} else {
+		if res.Degraded {
+			s.m.degraded.Inc()
+		}
+		s.m.latency.Observe(time.Since(req.enqueued).Seconds())
+	}
+	req.done <- res
+}
+
+// fail completes a whole batch with one error (stacking failure).
+func (s *Server) fail(batch []*request, err error) {
+	for _, req := range batch {
+		s.finish(req, Result{Err: err})
+	}
+}

@@ -1,0 +1,169 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"mvml/internal/nn"
+	"mvml/internal/signs"
+	"mvml/internal/tensor"
+	"mvml/internal/xrand"
+)
+
+// ClassifyRequest is the JSON body of POST /v1/classify. Either Image (a
+// flat channel-major pixel array of length C·H·W) or Class (a synthetic
+// traffic sign rendered server-side, deterministic in Class and Seed) must
+// be set.
+type ClassifyRequest struct {
+	Image []float32 `json:"image,omitempty"`
+	Class *int      `json:"class,omitempty"`
+	Seed  uint64    `json:"seed,omitempty"`
+}
+
+// ClassifyResponse is the JSON answer for one classification.
+type ClassifyResponse struct {
+	Class     int     `json:"class"`
+	Degraded  bool    `json:"degraded"`
+	Reason    string  `json:"reason,omitempty"`
+	Agreeing  int     `json:"agreeing"`
+	Proposals int     `json:"proposals"`
+	LatencyMS float64 `json:"latency_ms"`
+}
+
+// healthResponse is the JSON body of GET /healthz.
+type healthResponse struct {
+	Status     string          `json:"status"`
+	QueueDepth int             `json:"queue_depth"`
+	Versions   []VersionStatus `json:"versions"`
+}
+
+// adminRequest is the JSON body of the /admin endpoints.
+type adminRequest struct {
+	Version int    `json:"version"`
+	Kind    string `json:"kind,omitempty"`
+}
+
+// errorResponse is the JSON body of every non-2xx answer.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the server's HTTP API:
+//
+//	POST /v1/classify     — classify one image (429 when the queue is full)
+//	GET  /healthz         — per-version health and queue depth
+//	POST /admin/rejuvenate — manually drain+restore one version
+//	POST /admin/compromise — fault-inject one version (demos/tests)
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/classify", s.handleClassify)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("POST /admin/rejuvenate", s.handleRejuvenate)
+	mux.HandleFunc("POST /admin/compromise", s.handleCompromise)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(body)
+}
+
+func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
+	var req ClassifyRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad JSON: " + err.Error()})
+		return
+	}
+	img, err := req.image()
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	start := time.Now()
+	res, err := s.Classify(img)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		// Explicit backpressure: tell the client when to come back instead
+		// of letting the queue grow without bound.
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: err.Error()})
+	case errors.Is(err, ErrNoProposals), errors.Is(err, ErrClosed):
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
+	case err != nil:
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+	default:
+		writeJSON(w, http.StatusOK, ClassifyResponse{
+			Class:     res.Class,
+			Degraded:  res.Degraded,
+			Reason:    res.Reason,
+			Agreeing:  res.Agreeing,
+			Proposals: res.Proposals,
+			LatencyMS: float64(time.Since(start)) / float64(time.Millisecond),
+		})
+	}
+}
+
+// image materialises the request's tensor: either the client's raw pixels or
+// a server-rendered synthetic sign (deterministic in Class and Seed, which
+// makes load generation and determinism tests trivial).
+func (req *ClassifyRequest) image() (*tensor.Tensor, error) {
+	want := nn.InputChannels * nn.InputSize * nn.InputSize
+	switch {
+	case len(req.Image) > 0 && req.Class != nil:
+		return nil, errors.New(`provide "image" or "class", not both`)
+	case len(req.Image) > 0:
+		return tensor.FromSlice(req.Image, nn.InputChannels, nn.InputSize, nn.InputSize)
+	case req.Class != nil:
+		c := *req.Class
+		if c < 0 || c >= signs.NumClasses {
+			return nil, fmt.Errorf("class %d outside [0,%d)", c, signs.NumClasses)
+		}
+		r := xrand.New(req.Seed).Split("render", uint64(c))
+		return signs.Render(c, r, signs.DefaultConfig()), nil
+	default:
+		return nil, fmt.Errorf(`provide "image" (%d values) or "class"`, want)
+	}
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	versions, depth := s.Status()
+	writeJSON(w, http.StatusOK, healthResponse{
+		Status:     "ok",
+		QueueDepth: depth,
+		Versions:   versions,
+	})
+}
+
+func (s *Server) handleRejuvenate(w http.ResponseWriter, r *http.Request) {
+	var req adminRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad JSON: " + err.Error()})
+		return
+	}
+	kind := req.Kind
+	if kind == "" {
+		kind = RejuvManual
+	}
+	if err := s.Rejuvenate(req.Version, kind); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "rejuvenated"})
+}
+
+func (s *Server) handleCompromise(w http.ResponseWriter, r *http.Request) {
+	var req adminRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad JSON: " + err.Error()})
+		return
+	}
+	if err := s.Compromise(req.Version); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "compromised"})
+}

@@ -1,0 +1,183 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func newHTTPServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := newTestServer(t, cfg, nil)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func decode[T any](t *testing.T, resp *http.Response) T {
+	t.Helper()
+	defer resp.Body.Close()
+	var v T
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestHTTPClassifyByClass(t *testing.T) {
+	_, ts := newHTTPServer(t, testConfig())
+	resp := postJSON(t, ts.URL+"/v1/classify", ClassifyRequest{Class: ptr(7), Seed: 1})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	cr := decode[ClassifyResponse](t, resp)
+	if cr.Proposals != 3 || cr.Degraded {
+		t.Fatalf("healthy identical ensemble response: %+v", cr)
+	}
+	if cr.LatencyMS <= 0 {
+		t.Fatalf("latency %v not reported", cr.LatencyMS)
+	}
+	// Same class+seed is deterministic across calls.
+	again := decode[ClassifyResponse](t, postJSON(t, ts.URL+"/v1/classify", ClassifyRequest{Class: ptr(7), Seed: 1}))
+	if again.Class != cr.Class {
+		t.Fatalf("same request classified differently: %d vs %d", again.Class, cr.Class)
+	}
+}
+
+func TestHTTPClassifyByImage(t *testing.T) {
+	_, ts := newHTTPServer(t, testConfig())
+	img := testImage(3)
+	resp := postJSON(t, ts.URL+"/v1/classify", ClassifyRequest{Image: img.Data})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	cr := decode[ClassifyResponse](t, resp)
+	if cr.Proposals != 3 {
+		t.Fatalf("response: %+v", cr)
+	}
+}
+
+func TestHTTPClassifyBadRequests(t *testing.T) {
+	_, ts := newHTTPServer(t, testConfig())
+	cases := []any{
+		ClassifyRequest{},                                        // neither image nor class
+		ClassifyRequest{Image: make([]float32, 7)},               // wrong size
+		ClassifyRequest{Class: ptr(-1)},                          // class out of range
+		ClassifyRequest{Class: ptr(99)},                          // class out of range
+		ClassifyRequest{Image: testImage(0).Data, Class: ptr(1)}, // both
+	}
+	for i, body := range cases {
+		resp := postJSON(t, ts.URL+"/v1/classify", body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("case %d: status %d, want 400", i, resp.StatusCode)
+		}
+		er := decode[errorResponse](t, resp)
+		if er.Error == "" {
+			t.Errorf("case %d: empty error body", i)
+		}
+	}
+	// Malformed JSON.
+	resp, err := http.Post(ts.URL+"/v1/classify", "application/json", strings.NewReader("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed JSON: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestHTTPQueueFull429 proves backpressure is explicit at the HTTP surface:
+// a full admission queue answers 429 with a Retry-After hint, immediately.
+func TestHTTPQueueFull429(t *testing.T) {
+	cfg := testConfig()
+	cfg.QueueDepth = 1
+	cfg.batchGate = make(chan struct{}, 4)
+	s, ts := newHTTPServer(t, cfg)
+
+	// Occupy the queue's only slot; the gated batcher leaves it in place.
+	first := make(chan *http.Response, 1)
+	go func() {
+		raw, _ := json.Marshal(ClassifyRequest{Class: ptr(0)})
+		resp, err := http.Post(ts.URL+"/v1/classify", "application/json", bytes.NewReader(raw))
+		if err == nil {
+			first <- resp
+		}
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for s.depth.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("first request never reached the queue")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	resp := postJSON(t, ts.URL+"/v1/classify", ClassifyRequest{Class: ptr(1)})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	resp.Body.Close()
+
+	cfg.batchGate <- struct{}{}
+	if resp := <-first; resp.StatusCode != http.StatusOK {
+		t.Fatalf("queued request finished with %d after gate opened", resp.StatusCode)
+	}
+}
+
+func TestHTTPHealthz(t *testing.T) {
+	_, ts := newHTTPServer(t, testConfig())
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	hr := decode[healthResponse](t, resp)
+	if hr.Status != "ok" || len(hr.Versions) != 3 {
+		t.Fatalf("health: %+v", hr)
+	}
+	for _, v := range hr.Versions {
+		if v.State != "serving" {
+			t.Fatalf("version %s state %s at rest", v.Name, v.State)
+		}
+	}
+}
+
+func TestHTTPAdminRejuvenateAndCompromise(t *testing.T) {
+	s, ts := newHTTPServer(t, testConfig())
+	if resp := postJSON(t, ts.URL+"/admin/compromise", adminRequest{Version: 0}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("compromise status %d", resp.StatusCode)
+	}
+	if resp := postJSON(t, ts.URL+"/admin/rejuvenate", adminRequest{Version: 0}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("rejuvenate status %d", resp.StatusCode)
+	}
+	if resp := postJSON(t, ts.URL+"/admin/rejuvenate", adminRequest{Version: 9}); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("out-of-range rejuvenate status %d, want 400", resp.StatusCode)
+	}
+	// The ensemble still answers in full agreement after the round trip.
+	res, err := s.Classify(testImage(1))
+	if err != nil || res.Agreeing != 3 {
+		t.Fatalf("post-admin classify: res=%+v err=%v", res, err)
+	}
+}

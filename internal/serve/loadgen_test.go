@@ -1,0 +1,91 @@
+package serve
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRunLoadAgainstHealthyServer(t *testing.T) {
+	s := newTestServer(t, testConfig(), nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	rep, err := RunLoad(ts.URL, LoadConfig{
+		Rate:     200,
+		Duration: 400 * time.Millisecond,
+		Timeout:  5 * time.Second,
+		Seed:     38,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sent == 0 {
+		t.Fatal("open-loop generator sent nothing")
+	}
+	if rep.Errors != 0 || rep.Failed != 0 {
+		t.Fatalf("healthy run saw failures: %+v", rep)
+	}
+	if rep.OK+rep.Degraded != rep.Sent-rep.Rejected {
+		t.Fatalf("outcome counts do not add up: %+v", rep)
+	}
+	if rep.OK > 0 && (rep.P50 <= 0 || rep.P99 < rep.P50 || rep.Max < rep.P99) {
+		t.Fatalf("latency percentiles not monotone: %+v", rep)
+	}
+	if rep.Throughput <= 0 {
+		t.Fatalf("throughput %v", rep.Throughput)
+	}
+	out := rep.String()
+	for _, want := range []string{"ok", "degraded", "p50", "p99"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunLoadSurvivesRejuvenation is the loadgen-side statement of the
+// acceptance criterion: a forced compromise plus rejuvenation in the middle
+// of an open-loop run produces zero 5xx responses.
+func TestRunLoadSurvivesRejuvenation(t *testing.T) {
+	s := newTestServer(t, testConfig(), nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		time.Sleep(100 * time.Millisecond)
+		if err := s.Compromise(0); err != nil {
+			t.Error(err)
+		}
+		time.Sleep(100 * time.Millisecond)
+		if err := s.Rejuvenate(0, RejuvManual); err != nil {
+			t.Error(err)
+		}
+	}()
+	rep, err := RunLoad(ts.URL, LoadConfig{
+		Rate:     150,
+		Duration: 500 * time.Millisecond,
+		Timeout:  5 * time.Second,
+	})
+	<-done
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed != 0 || rep.Errors != 0 {
+		t.Fatalf("rejuvenation under load failed requests: %+v", rep)
+	}
+	if rep.OK == 0 {
+		t.Fatalf("no successful answers at all: %+v", rep)
+	}
+}
+
+func TestRunLoadValidatesConfig(t *testing.T) {
+	if _, err := RunLoad("http://127.0.0.1:0", LoadConfig{Rate: 0, Duration: time.Second}); err == nil {
+		t.Fatal("zero rate accepted")
+	}
+	if _, err := RunLoad("http://127.0.0.1:0", LoadConfig{Rate: 10, Duration: 0}); err == nil {
+		t.Fatal("zero duration accepted")
+	}
+}

@@ -1,0 +1,69 @@
+package serve
+
+import (
+	"time"
+
+	"mvml/internal/obs"
+)
+
+// metrics bundles the serving subsystem's telemetry handles, resolved once
+// at startup. With a nil runtime every handle is a nil no-op, so the serving
+// hot path pays only nil checks — instrumentation never changes responses.
+type metrics struct {
+	queueDepth *obs.Gauge
+	batchSize  *obs.Histogram
+	latency    *obs.Histogram
+	requests   *obs.Counter
+	degraded   *obs.Counter
+	rejected   *obs.Counter
+	failed     *obs.Counter
+	batches    *obs.Counter
+
+	reg     *obs.Registry
+	tracer  *obs.Tracer
+	started time.Time
+}
+
+func newMetrics(rt *obs.Runtime) *metrics {
+	m := &metrics{started: time.Now()}
+	if rt != nil {
+		m.reg = rt.Metrics()
+		m.tracer = rt.Tracer()
+	}
+	r := m.reg // nil registry hands out nil (no-op) handles
+	r.Help("mvserve_queue_depth", "Requests waiting in the admission queue.")
+	r.Help("mvserve_batch_size", "Requests per dispatched micro-batch.")
+	r.Help("mvserve_e2e_latency_seconds", "End-to-end latency of answered requests.")
+	r.Help("mvserve_requests_total", "Requests that reached a terminal outcome (answered or failed).")
+	r.Help("mvserve_degraded_total", "Answers served without a full healthy majority.")
+	r.Help("mvserve_rejected_total", "Requests shed at admission because the queue was full.")
+	r.Help("mvserve_failed_total", "Requests that could not be answered at all.")
+	r.Help("mvserve_batches_total", "Micro-batches dispatched to the version pools.")
+	r.Help("mvserve_rejuvenations_total", "Completed rejuvenations by trigger kind.")
+	r.Help("mvserve_divergence_total", "Decided requests in which a version disagreed with the voted output.")
+
+	m.queueDepth = r.Gauge("mvserve_queue_depth")
+	m.batchSize = r.Histogram("mvserve_batch_size", obs.LinearBuckets(1, 1, 16))
+	m.latency = r.Histogram("mvserve_e2e_latency_seconds", obs.LatencyBuckets())
+	m.requests = r.Counter("mvserve_requests_total")
+	m.degraded = r.Counter("mvserve_degraded_total")
+	m.rejected = r.Counter("mvserve_rejected_total")
+	m.failed = r.Counter("mvserve_failed_total")
+	m.batches = r.Counter("mvserve_batches_total")
+	return m
+}
+
+// rejuvenations resolves the per-trigger-kind counter.
+func (m *metrics) rejuvenations(kind string) *obs.Counter {
+	return m.reg.Counter("mvserve_rejuvenations_total", "kind", kind)
+}
+
+// divergence resolves the per-version divergence counter.
+func (m *metrics) divergence(version string) *obs.Counter {
+	return m.reg.Counter("mvserve_divergence_total", "version", version)
+}
+
+// trace emits a lifecycle event stamped with seconds since server start.
+func (m *metrics) trace(typ string, attrs map[string]any) {
+	m.tracer.Emit(time.Since(m.started).Seconds(), typ, attrs)
+}

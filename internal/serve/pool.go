@@ -1,0 +1,260 @@
+package serve
+
+import (
+	"sync"
+
+	"mvml/internal/core"
+	"mvml/internal/obs"
+	"mvml/internal/tensor"
+)
+
+// poolState is a version pool's serving state.
+type poolState int
+
+const (
+	poolServing poolState = iota
+	// poolDraining rejects new batches while in-flight ones finish — the
+	// first phase of rejuvenation.
+	poolDraining
+	// poolHalted is terminal (server shutdown).
+	poolHalted
+)
+
+func (st poolState) String() string {
+	switch st {
+	case poolServing:
+		return "serving"
+	case poolDraining:
+		return "draining"
+	case poolHalted:
+		return "halted"
+	default:
+		return "unknown"
+	}
+}
+
+// batchJob asks one version for its predictions over a stacked batch.
+type batchJob struct {
+	batch *tensor.Tensor
+	// out is buffered for every version, so a worker finishing after the
+	// batch deadline never blocks on the send.
+	out chan versionAnswer
+}
+
+// versionAnswer is one version's predictions for a batch (or its failure).
+type versionAnswer struct {
+	version int
+	preds   []int
+	err     error
+}
+
+// pool runs one version: a set of workers, each owning a private replica
+// network with the version's shared weights. Replicas exist because layer
+// forward passes record state — two batches must never share a network.
+type pool struct {
+	index int
+	name  string
+	m     *metrics
+
+	jobs    chan batchJob
+	workers []*core.NNVersion
+	wg      sync.WaitGroup
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	state   poolState
+	pending int // jobs accepted but not yet finished
+
+	// Divergence ring: outcome of the last windowSize decided requests this
+	// version participated in (true = disagreed with the voted output).
+	window     []bool
+	windowPos  int
+	windowFill int
+	disagreed  int
+	threshold  float64
+
+	divergedTotal *obs.Counter
+}
+
+func newPool(index int, name string, cfg Config, m *metrics) *pool {
+	p := &pool{
+		index:         index,
+		name:          name,
+		m:             m,
+		jobs:          make(chan batchJob, cfg.WorkersPerVersion),
+		window:        make([]bool, cfg.DivergenceWindow),
+		threshold:     cfg.DivergenceThreshold,
+		divergedTotal: m.divergence(name),
+	}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+// addWorker registers one replica; call before start.
+func (p *pool) addWorker(v *core.NNVersion) {
+	p.workers = append(p.workers, v)
+}
+
+// start launches one goroutine per replica.
+func (p *pool) start() {
+	for _, v := range p.workers {
+		p.wg.Add(1)
+		go p.run(v)
+	}
+}
+
+// run is a worker loop: each job is a full-batch inference on this worker's
+// private replica.
+func (p *pool) run(v *core.NNVersion) {
+	defer p.wg.Done()
+	for job := range p.jobs {
+		preds, err := v.Network().PredictBatch(job.batch)
+		job.out <- versionAnswer{version: p.index, preds: preds, err: err}
+		p.finishJob()
+	}
+}
+
+// trySubmit offers a batch to the pool without ever blocking: it declines
+// when the pool is draining/halted or all workers are busy with a full
+// backlog. A declined version simply contributes no proposal to this batch.
+func (p *pool) trySubmit(job batchJob) bool {
+	p.mu.Lock()
+	if p.state != poolServing {
+		p.mu.Unlock()
+		return false
+	}
+	p.pending++
+	p.mu.Unlock()
+	select {
+	case p.jobs <- job:
+		return true
+	default:
+		p.finishJob()
+		return false
+	}
+}
+
+func (p *pool) finishJob() {
+	p.mu.Lock()
+	p.pending--
+	if p.pending == 0 {
+		p.cond.Broadcast()
+	}
+	p.mu.Unlock()
+}
+
+// withQuiesced drains the pool (no new batches; in-flight ones finish), runs
+// fn on every replica while nothing touches the weights, and reinstates the
+// pool. The first error is returned but every replica is still visited, so
+// the replicas never diverge from each other.
+func (p *pool) withQuiesced(fn func(*core.NNVersion) error) error {
+	p.mu.Lock()
+	if p.state == poolHalted {
+		p.mu.Unlock()
+		return ErrClosed
+	}
+	p.state = poolDraining
+	for p.pending > 0 {
+		p.cond.Wait()
+	}
+	p.mu.Unlock()
+
+	var first error
+	for _, v := range p.workers {
+		if err := fn(v); err != nil && first == nil {
+			first = err
+		}
+	}
+
+	p.mu.Lock()
+	if p.state == poolDraining {
+		p.state = poolServing
+	}
+	p.mu.Unlock()
+	return first
+}
+
+// halt permanently stops the pool and its workers (server shutdown).
+func (p *pool) halt() {
+	p.mu.Lock()
+	if p.state == poolHalted {
+		p.mu.Unlock()
+		return
+	}
+	p.state = poolHalted
+	for p.pending > 0 {
+		p.cond.Wait()
+	}
+	p.mu.Unlock()
+	close(p.jobs)
+	p.wg.Wait()
+}
+
+// observe records whether this version agreed with the voted output for one
+// decided request, maintaining the reactive-trigger ring.
+func (p *pool) observe(disagreed bool) {
+	p.mu.Lock()
+	if p.windowFill == len(p.window) {
+		if p.window[p.windowPos] {
+			p.disagreed--
+		}
+	} else {
+		p.windowFill++
+	}
+	p.window[p.windowPos] = disagreed
+	if disagreed {
+		p.disagreed++
+	}
+	p.windowPos = (p.windowPos + 1) % len(p.window)
+	p.mu.Unlock()
+	if disagreed {
+		p.divergedTotal.Inc()
+	}
+}
+
+// shouldRejuvenate reports whether the divergence window is full and over
+// threshold — the reactive trigger condition.
+func (p *pool) shouldRejuvenate() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.state != poolServing || p.windowFill < len(p.window) {
+		return false
+	}
+	return float64(p.disagreed)/float64(len(p.window)) >= p.threshold
+}
+
+// resetDivergence clears the window after rejuvenation so stale
+// disagreements cannot immediately re-trigger.
+func (p *pool) resetDivergence() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i := range p.window {
+		p.window[i] = false
+	}
+	p.windowPos, p.windowFill, p.disagreed = 0, 0, 0
+}
+
+// divergenceRate is the current windowed disagreement fraction.
+func (p *pool) divergenceRate() float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.windowFill == 0 {
+		return 0
+	}
+	return float64(p.disagreed) / float64(p.windowFill)
+}
+
+func (p *pool) status() VersionStatus {
+	p.mu.Lock()
+	st := VersionStatus{
+		Index:    p.index,
+		Name:     p.name,
+		State:    p.state.String(),
+		InFlight: p.pending,
+	}
+	if p.windowFill > 0 {
+		st.Divergence = float64(p.disagreed) / float64(p.windowFill)
+	}
+	p.mu.Unlock()
+	return st
+}

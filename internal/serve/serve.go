@@ -1,0 +1,499 @@
+// Package serve is the online multi-version inference serving subsystem: it
+// exposes the paper's three-version classifier ensemble (§IV) as a concurrent
+// request/response service with bounded admission, micro-batching, majority
+// voting, graceful degradation and zero-downtime rejuvenation.
+//
+// Request flow:
+//
+//	client → admission queue (bounded; full ⇒ explicit rejection)
+//	       → micro-batcher   (flush on batch size or max-wait deadline)
+//	       → per-version worker pools (the N versions run concurrently)
+//	       → majority voter  (rules R.1–R.3; safe skip ⇒ degraded fallback)
+//	       → response
+//
+// Each worker owns a private replica of its version's network, because
+// nn.Layer implementations record state during Forward and are not safe for
+// concurrent use. All replicas of a version share the same weights, so a
+// version answers identically regardless of which worker serves the batch.
+//
+// Rejuvenation never stops the service: one version at a time is drained
+// (workers finish in-flight batches, new batches skip the version), its
+// replicas reload pristine weights from safe storage, and it is reinstated
+// while the remaining versions keep answering — requests served meanwhile are
+// at most tagged degraded, never failed. Rejuvenation is triggered reactively
+// (observed divergence from the majority exceeding a threshold) and
+// proactively (time-triggered rotation), mirroring the paper's two triggers.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mvml/internal/core"
+	"mvml/internal/experiments"
+	"mvml/internal/faultinject"
+	"mvml/internal/nn"
+	"mvml/internal/obs"
+	"mvml/internal/signs"
+	"mvml/internal/tensor"
+	"mvml/internal/xrand"
+)
+
+// Config parameterises a Server. The zero value is not usable; start from
+// DefaultConfig.
+type Config struct {
+	// Versions is the ensemble size (the paper's n; default 3).
+	Versions int
+	// WorkersPerVersion is how many weight-sharing replicas serve each
+	// version concurrently.
+	WorkersPerVersion int
+	// QueueDepth bounds the admission queue; a full queue rejects instead
+	// of blocking (explicit backpressure).
+	QueueDepth int
+	// MaxBatch is the micro-batch flush size.
+	MaxBatch int
+	// MaxBatchWait is the micro-batch flush deadline: a partially filled
+	// batch is dispatched at most this long after its first request.
+	MaxBatchWait time.Duration
+	// RequestTimeout is the per-request deadline. Versions that have not
+	// answered by then are dropped from the vote; the request degrades to
+	// whatever proposals arrived rather than failing.
+	RequestTimeout time.Duration
+	// Seed drives model initialisation, training and fault injection.
+	Seed uint64
+	// TrainEpochs trains each version on the signs dataset before serving;
+	// 0 serves the deterministic untrained initialisation (fast start for
+	// tests and latency-focused load runs).
+	TrainEpochs int
+	// Dataset configures the training data when TrainEpochs > 0.
+	Dataset signs.Config
+	// ProactiveInterval rejuvenates one version (round-robin) per tick;
+	// 0 disables the proactive trigger.
+	ProactiveInterval time.Duration
+	// DivergenceWindow and DivergenceThreshold configure the reactive
+	// trigger: a version whose answers disagreed with the voted output in
+	// at least Threshold of the last Window decided requests is rejuvenated.
+	DivergenceWindow    int
+	DivergenceThreshold float64
+	// InjectLayer is the parameterised layer Compromise faults (the paper
+	// injects into layer 1 with range (-10, 30)); InjectCount is how many
+	// weights one compromise event perturbs.
+	InjectLayer int
+	InjectCount int
+	// NewNetwork overrides how a version's network is built (tests use
+	// small identical networks). nil selects the three small classifier
+	// architectures from internal/nn in round-robin order.
+	NewNetwork func(version int, r *xrand.Rand) (*nn.Network, error)
+
+	// batchGate, when non-nil, makes the batcher wait for a token before
+	// collecting each batch — lets tests fill the admission queue
+	// deterministically.
+	batchGate chan struct{}
+}
+
+// DefaultConfig returns serving parameters suitable for the demo workload.
+func DefaultConfig() Config {
+	return Config{
+		Versions:            3,
+		WorkersPerVersion:   2,
+		QueueDepth:          64,
+		MaxBatch:            8,
+		MaxBatchWait:        2 * time.Millisecond,
+		RequestTimeout:      500 * time.Millisecond,
+		Seed:                38,
+		Dataset:             signs.DefaultConfig(),
+		InjectLayer:         1,
+		InjectCount:         1,
+		DivergenceWindow:    32,
+		DivergenceThreshold: 0.5,
+	}
+}
+
+// Validate reports whether the configuration is serveable.
+func (c Config) Validate() error {
+	if c.Versions < 1 {
+		return fmt.Errorf("serve: need at least one version, got %d", c.Versions)
+	}
+	if c.WorkersPerVersion < 1 {
+		return fmt.Errorf("serve: need at least one worker per version, got %d", c.WorkersPerVersion)
+	}
+	if c.QueueDepth < 1 {
+		return fmt.Errorf("serve: queue depth %d", c.QueueDepth)
+	}
+	if c.MaxBatch < 1 {
+		return fmt.Errorf("serve: max batch %d", c.MaxBatch)
+	}
+	if c.MaxBatchWait <= 0 {
+		return fmt.Errorf("serve: max batch wait %v", c.MaxBatchWait)
+	}
+	if c.RequestTimeout <= 0 {
+		return fmt.Errorf("serve: request timeout %v", c.RequestTimeout)
+	}
+	if c.InjectCount < 1 {
+		return fmt.Errorf("serve: inject count %d", c.InjectCount)
+	}
+	if c.DivergenceWindow < 1 {
+		return fmt.Errorf("serve: divergence window %d", c.DivergenceWindow)
+	}
+	if c.DivergenceThreshold <= 0 || c.DivergenceThreshold > 1 {
+		return fmt.Errorf("serve: divergence threshold %v outside (0,1]", c.DivergenceThreshold)
+	}
+	return nil
+}
+
+// Sentinel errors surfaced to callers; the HTTP layer maps them to status
+// codes (429 for ErrQueueFull, 503 for ErrNoProposals and ErrClosed).
+var (
+	// ErrQueueFull is returned when the admission queue is at capacity —
+	// the service sheds load explicitly instead of queueing unboundedly.
+	ErrQueueFull = errors.New("serve: admission queue full")
+	// ErrClosed is returned once the server has shut down.
+	ErrClosed = errors.New("serve: server closed")
+	// ErrNoProposals is returned when no version answered before the
+	// request deadline, so not even a degraded answer exists.
+	ErrNoProposals = errors.New("serve: no version answered before the deadline")
+)
+
+// Result is the served answer for one classification request.
+type Result struct {
+	// Class is the voted (or degraded-fallback) class index.
+	Class int
+	// Degraded marks answers that did not come from a full healthy
+	// majority: the voter safely skipped and a fallback proposal was used,
+	// or fewer than the configured number of versions answered in time.
+	Degraded bool
+	// Reason explains a degraded answer.
+	Reason string
+	// Agreeing and Proposals echo the voter's tally.
+	Agreeing  int
+	Proposals int
+	// Err is set when the request failed outright (no proposals at all).
+	Err error
+}
+
+// request is one queued classification.
+type request struct {
+	image    *tensor.Tensor
+	enqueued time.Time
+	deadline time.Time
+	done     chan Result // buffered(1); exactly one send
+}
+
+// Server is the serving subsystem. Create with New, stop with Close.
+type Server struct {
+	cfg   Config
+	pools []*pool
+	voter core.Voter[int]
+	m     *metrics
+
+	queue chan *request
+	depth atomic.Int64 // live queue length, mirrored into the gauge
+
+	stop    chan struct{}
+	stopped sync.WaitGroup
+	closed  atomic.Bool
+
+	// rejuvMu serialises rejuvenation and compromise so at most one version
+	// is ever out of service at a time (the other n−1 keep answering).
+	rejuvMu sync.Mutex
+	// reactivePending collapses concurrent reactive triggers into one.
+	reactivePending atomic.Bool
+
+	startedAt time.Time
+}
+
+// New builds the ensemble (optionally training it), starts the batcher,
+// worker pools and the proactive rejuvenation timer, and returns a serving
+// Server. rt carries the telemetry runtime; nil serves uninstrumented —
+// instrumentation never changes responses.
+func New(cfg Config, rt *obs.Runtime) (*Server, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	root := xrand.New(cfg.Seed)
+
+	var train []nn.Sample
+	if cfg.TrainEpochs > 0 {
+		ds, err := signs.Generate(cfg.Dataset)
+		if err != nil {
+			return nil, fmt.Errorf("serve: training data: %w", err)
+		}
+		train = ds.Train
+	}
+
+	s := &Server{
+		cfg:       cfg,
+		voter:     core.NewEqualityVoter[int](),
+		m:         newMetrics(rt),
+		queue:     make(chan *request, cfg.QueueDepth),
+		stop:      make(chan struct{}),
+		startedAt: time.Now(),
+	}
+
+	for v := 0; v < cfg.Versions; v++ {
+		p, err := s.buildPool(v, root, train)
+		if err != nil {
+			s.haltPools()
+			return nil, err
+		}
+		s.pools = append(s.pools, p)
+	}
+
+	s.stopped.Add(1)
+	go s.batchLoop()
+	if cfg.ProactiveInterval > 0 {
+		s.stopped.Add(1)
+		go s.proactiveLoop()
+	}
+	return s, nil
+}
+
+// makeNetwork builds version v's architecture with its deterministic stream.
+func (s *Server) makeNetwork(v int, root *xrand.Rand) (*nn.Network, error) {
+	r := root.Split("model", uint64(v))
+	if s.cfg.NewNetwork != nil {
+		return s.cfg.NewNetwork(v, r)
+	}
+	names := nn.AllModels()
+	return nn.NewModel(names[v%len(names)], signs.NumClasses, r)
+}
+
+// buildPool trains version v once, then clones the weights into
+// WorkersPerVersion private replicas.
+func (s *Server) buildPool(v int, root *xrand.Rand, train []nn.Sample) (*pool, error) {
+	proto, err := s.makeNetwork(v, root)
+	if err != nil {
+		return nil, fmt.Errorf("serve: version %d: %w", v, err)
+	}
+	if len(train) > 0 {
+		tcfg := experiments.QuickTableIIConfig()
+		tcfg.Epochs = s.cfg.TrainEpochs
+		if err := experiments.Train(proto, train, tcfg, root.Split("train", uint64(v))); err != nil {
+			return nil, fmt.Errorf("serve: training version %d: %w", v, err)
+		}
+	}
+	weights := proto.CloneWeights()
+
+	p := newPool(v, proto.Name, s.cfg, s.m)
+	for w := 0; w < s.cfg.WorkersPerVersion; w++ {
+		net, err := s.makeNetwork(v, root)
+		if err != nil {
+			return nil, fmt.Errorf("serve: version %d replica %d: %w", v, w, err)
+		}
+		if err := net.RestoreWeights(weights); err != nil {
+			return nil, fmt.Errorf("serve: version %d replica %d: %w", v, w, err)
+		}
+		faultR := root.Split("fault", uint64(v)<<16|uint64(w))
+		layer, count := s.cfg.InjectLayer, s.cfg.InjectCount
+		nv, err := core.NewNNVersion(net, func(n *nn.Network) error {
+			for i := 0; i < count; i++ {
+				if _, err := faultinject.RandomWeightInj(n, layer, -10, 30, faultR); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("serve: version %d replica %d: %w", v, w, err)
+		}
+		p.addWorker(nv)
+	}
+	p.start()
+	return p, nil
+}
+
+// Classify queues one image and blocks until its answer, deadline or
+// rejection. The returned error mirrors Result.Err (nil for degraded
+// answers — degradation is an answer, not a failure).
+func (s *Server) Classify(img *tensor.Tensor) (Result, error) {
+	req, err := s.submit(img)
+	if err != nil {
+		return Result{Err: err}, err
+	}
+	res := <-req.done
+	return res, res.Err
+}
+
+// submit performs bounded admission: it never blocks on a full queue.
+func (s *Server) submit(img *tensor.Tensor) (*request, error) {
+	if s.closed.Load() {
+		return nil, ErrClosed
+	}
+	want := nn.InputChannels * nn.InputSize * nn.InputSize
+	if img == nil || img.Len() != want {
+		return nil, fmt.Errorf("serve: image must have %d values", want)
+	}
+	now := time.Now()
+	req := &request{
+		image:    img,
+		enqueued: now,
+		deadline: now.Add(s.cfg.RequestTimeout),
+		done:     make(chan Result, 1),
+	}
+	select {
+	case s.queue <- req:
+		s.m.queueDepth.Set(float64(s.depth.Add(1)))
+		return req, nil
+	default:
+		s.m.rejected.Inc()
+		return nil, ErrQueueFull
+	}
+}
+
+// Rejuvenate drains version v, reloads its pristine weights and reinstates
+// it, while the other versions keep serving. kind labels the trigger in the
+// metrics. Serialised: concurrent calls queue up, so at most one version is
+// out of rotation at any moment.
+func (s *Server) Rejuvenate(v int, kind string) error {
+	p, err := s.pool(v)
+	if err != nil {
+		return err
+	}
+	s.rejuvMu.Lock()
+	defer s.rejuvMu.Unlock()
+	start := time.Now()
+	err = p.withQuiesced(func(nv *core.NNVersion) error { return nv.Restore() })
+	p.resetDivergence()
+	if err != nil {
+		return fmt.Errorf("serve: rejuvenating %s: %w", p.name, err)
+	}
+	s.m.rejuvenations(kind).Inc()
+	s.m.trace("rejuvenation", map[string]any{
+		"version": p.name, "kind": kind,
+		"drain_ms": float64(time.Since(start)) / float64(time.Millisecond),
+	})
+	return nil
+}
+
+// Compromise injects the configured weight fault into every replica of
+// version v — the serving-side analogue of an attack, used by the demo and
+// tests to provoke divergence. The pool is quiesced during injection so no
+// worker reads weights mid-write.
+func (s *Server) Compromise(v int) error {
+	p, err := s.pool(v)
+	if err != nil {
+		return err
+	}
+	s.rejuvMu.Lock()
+	defer s.rejuvMu.Unlock()
+	// Inject into the first replica, then copy its weights to the rest:
+	// all replicas of a version must stay functionally identical, so the
+	// version keeps a single (now faulty) behaviour whichever worker
+	// serves a batch.
+	var weights [][]float32
+	err = p.withQuiesced(func(nv *core.NNVersion) error {
+		if weights == nil {
+			if err := nv.Compromise(); err != nil {
+				return err
+			}
+			weights = nv.Network().CloneWeights()
+			return nil
+		}
+		return nv.Network().RestoreWeights(weights)
+	})
+	if err != nil {
+		return fmt.Errorf("serve: compromising %s: %w", p.name, err)
+	}
+	s.m.trace("compromise", map[string]any{"version": p.name})
+	return nil
+}
+
+func (s *Server) pool(v int) (*pool, error) {
+	if v < 0 || v >= len(s.pools) {
+		return nil, fmt.Errorf("serve: version %d outside [0,%d)", v, len(s.pools))
+	}
+	return s.pools[v], nil
+}
+
+// VersionStatus is one version's health snapshot.
+type VersionStatus struct {
+	Index      int     `json:"index"`
+	Name       string  `json:"name"`
+	State      string  `json:"state"`
+	InFlight   int     `json:"in_flight"`
+	Divergence float64 `json:"divergence"`
+}
+
+// Status reports the live health of every version plus the queue depth.
+func (s *Server) Status() (versions []VersionStatus, queueDepth int) {
+	for _, p := range s.pools {
+		versions = append(versions, p.status())
+	}
+	return versions, int(s.depth.Load())
+}
+
+// Close stops admission, lets the batcher finish queued work (failing
+// anything unservable with ErrClosed), and waits for all goroutines.
+// Idempotent.
+func (s *Server) Close() {
+	if s.closed.Swap(true) {
+		return
+	}
+	close(s.stop)
+	s.stopped.Wait()
+	s.haltPools()
+	// Fail whatever is still queued; nothing will serve it now.
+	for {
+		select {
+		case req := <-s.queue:
+			s.depth.Add(-1)
+			req.done <- Result{Err: ErrClosed}
+		default:
+			s.m.queueDepth.Set(float64(s.depth.Load()))
+			return
+		}
+	}
+}
+
+func (s *Server) haltPools() {
+	for _, p := range s.pools {
+		p.halt()
+	}
+}
+
+// proactiveLoop is the time-triggered rejuvenation rotation (§IV's
+// timer-based trigger): every interval one version, round-robin.
+func (s *Server) proactiveLoop() {
+	defer s.stopped.Done()
+	t := time.NewTicker(s.cfg.ProactiveInterval)
+	defer t.Stop()
+	next := 0
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			v := next % len(s.pools)
+			next++
+			_ = s.Rejuvenate(v, RejuvProactive)
+		}
+	}
+}
+
+// maybeReact fires the reactive trigger for any version whose divergence
+// window exceeded the threshold. The rejuvenation runs on its own goroutine
+// so the batcher never blocks on a drain.
+func (s *Server) maybeReact() {
+	for _, p := range s.pools {
+		if !p.shouldRejuvenate() {
+			continue
+		}
+		if s.reactivePending.CompareAndSwap(false, true) {
+			go func(v int) {
+				defer s.reactivePending.Store(false)
+				_ = s.Rejuvenate(v, RejuvReactive)
+			}(p.index)
+		}
+		return
+	}
+}
+
+// Rejuvenation trigger kinds, used as the metric label.
+const (
+	RejuvProactive = "proactive"
+	RejuvReactive  = "reactive"
+	RejuvManual    = "manual"
+)

@@ -1,0 +1,394 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mvml/internal/nn"
+	"mvml/internal/obs"
+	"mvml/internal/signs"
+	"mvml/internal/tensor"
+	"mvml/internal/xrand"
+)
+
+// tinyNet builds a minimal classifier. Every version gets IDENTICAL weights
+// (a fixed internal seed), so the healthy ensemble always agrees 3-of-3 and
+// tests can reason exactly about voting, degradation and divergence.
+func tinyNet(version int, _ *xrand.Rand) (*nn.Network, error) {
+	r := xrand.New(1234)
+	return &nn.Network{
+		Name: fmt.Sprintf("tiny-%d", version),
+		Layers: []nn.Layer{
+			nn.NewFlatten("flat"),
+			nn.NewDense("fc", nn.InputChannels*nn.InputSize*nn.InputSize, signs.NumClasses, r),
+		},
+	}, nil
+}
+
+// testConfig is a fast configuration over the tiny identical networks.
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.NewNetwork = tinyNet
+	cfg.InjectLayer = 0  // the tiny net's only parameterised layer
+	cfg.InjectCount = 64 // enough perturbed weights to reliably flip argmax
+	cfg.WorkersPerVersion = 2
+	cfg.MaxBatch = 4
+	cfg.MaxBatchWait = time.Millisecond
+	cfg.RequestTimeout = 2 * time.Second
+	return cfg
+}
+
+func newTestServer(t *testing.T, cfg Config, rt *obs.Runtime) *Server {
+	t.Helper()
+	s, err := New(cfg, rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+// testImage renders a deterministic sign image.
+func testImage(i int) *tensor.Tensor {
+	r := xrand.New(uint64(i)).Split("test-image", uint64(i))
+	return signs.Render(i%signs.NumClasses, r, signs.DefaultConfig())
+}
+
+func TestClassifyHealthyFullMajority(t *testing.T) {
+	s := newTestServer(t, testConfig(), nil)
+	res, err := s.Classify(testImage(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Proposals != 3 || res.Agreeing != 3 {
+		t.Fatalf("healthy identical versions must agree 3-of-3, got %+v", res)
+	}
+	if res.Degraded {
+		t.Fatalf("healthy answer tagged degraded: %+v", res)
+	}
+	if res.Class < 0 || res.Class >= signs.NumClasses {
+		t.Fatalf("class %d out of range", res.Class)
+	}
+}
+
+func TestClassifyRejectsBadImage(t *testing.T) {
+	s := newTestServer(t, testConfig(), nil)
+	if _, err := s.Classify(tensor.New(3)); err == nil {
+		t.Fatal("wrong-size image accepted")
+	}
+	if _, err := s.Classify(nil); err == nil {
+		t.Fatal("nil image accepted")
+	}
+}
+
+// TestResponsesUnchangedByInstrumentation is the determinism guarantee the
+// telemetry layer promises: the same request sequence against an
+// instrumented and an uninstrumented server yields identical answers.
+func TestResponsesUnchangedByInstrumentation(t *testing.T) {
+	rt := obs.NewRuntime(64)
+	bare := newTestServer(t, testConfig(), nil)
+	inst := newTestServer(t, testConfig(), rt)
+
+	const n = 24
+	for i := 0; i < n; i++ {
+		img := testImage(i)
+		a, errA := bare.Classify(img)
+		b, errB := inst.Classify(img)
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("request %d: error mismatch %v vs %v", i, errA, errB)
+		}
+		if a.Class != b.Class || a.Degraded != b.Degraded ||
+			a.Agreeing != b.Agreeing || a.Proposals != b.Proposals {
+			t.Fatalf("request %d: instrumented answer differs: %+v vs %+v", i, a, b)
+		}
+	}
+	if got := rt.Metrics().Counter("mvserve_requests_total").Value(); got != n {
+		t.Fatalf("instrumented server counted %d requests, want %d", got, n)
+	}
+	var b strings.Builder
+	if err := rt.Metrics().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"mvserve_requests_total", "mvserve_batch_size", "mvserve_e2e_latency_seconds",
+		"mvserve_queue_depth",
+	} {
+		if !strings.Contains(b.String(), want) {
+			t.Fatalf("exposition missing %s:\n%s", want, b.String())
+		}
+	}
+}
+
+// TestQueueFullRejects holds the batcher on a gate so the admission queue
+// fills deterministically; the overflow submit must reject immediately with
+// ErrQueueFull (not block), and queued requests must still be answered after
+// the gate opens.
+func TestQueueFullRejects(t *testing.T) {
+	cfg := testConfig()
+	cfg.QueueDepth = 2
+	cfg.batchGate = make(chan struct{}, 4)
+	s := newTestServer(t, cfg, nil)
+
+	r1, err := s.submit(testImage(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := s.submit(testImage(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.submit(testImage(3)); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overflow submit: got %v, want ErrQueueFull", err)
+	}
+
+	cfg.batchGate <- struct{}{}
+	cfg.batchGate <- struct{}{}
+	for i, req := range []*request{r1, r2} {
+		res := <-req.done
+		if res.Err != nil {
+			t.Fatalf("queued request %d failed after gate opened: %v", i, res.Err)
+		}
+	}
+}
+
+// TestDegradedOnPartialEnsemble: with two versions out of rotation, the
+// single remaining proposal is accepted (rule R.3) and tagged degraded.
+func TestDegradedOnPartialEnsemble(t *testing.T) {
+	s := newTestServer(t, testConfig(), nil)
+	for _, v := range []int{1, 2} {
+		s.pools[v].mu.Lock()
+		s.pools[v].state = poolDraining
+		s.pools[v].mu.Unlock()
+	}
+	res, err := s.Classify(testImage(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Degraded || res.Proposals != 1 {
+		t.Fatalf("single-version answer must be degraded R.3, got %+v", res)
+	}
+	versions, _ := s.Status()
+	if versions[1].State != "draining" || versions[0].State != "serving" {
+		t.Fatalf("status does not reflect pool states: %+v", versions)
+	}
+	for _, v := range []int{1, 2} {
+		s.pools[v].mu.Lock()
+		s.pools[v].state = poolServing
+		s.pools[v].mu.Unlock()
+	}
+}
+
+// classifyUntil runs requests until pred holds, bounded by n attempts.
+func classifyUntil(t *testing.T, s *Server, n int, pred func(Result) bool) bool {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		res, err := s.Classify(testImage(i))
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		if pred(res) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestCompromiseOutvotedAndCounted: a compromised minority version cannot
+// change the served answers (2-of-3 majority holds) but its divergence is
+// observed — the signal the reactive trigger feeds on.
+func TestCompromiseOutvotedAndCounted(t *testing.T) {
+	cfg := testConfig()
+	cfg.DivergenceThreshold = 1 // keep the reactive trigger out of this test
+	s := newTestServer(t, cfg, nil)
+	if err := s.Compromise(0); err != nil {
+		t.Fatal(err)
+	}
+	diverged := classifyUntil(t, s, 200, func(res Result) bool {
+		if res.Err != nil || res.Degraded {
+			t.Fatalf("compromised minority must not degrade answers: %+v", res)
+		}
+		return s.pools[0].divergenceRate() > 0
+	})
+	if !diverged {
+		t.Fatal("compromised version never diverged from the majority")
+	}
+	// Manual rejuvenation restores full agreement.
+	if err := s.Rejuvenate(0, RejuvManual); err != nil {
+		t.Fatal(err)
+	}
+	if !classifyUntil(t, s, 50, func(res Result) bool { return res.Agreeing == 3 }) {
+		t.Fatal("no 3-of-3 agreement after rejuvenation")
+	}
+}
+
+// TestReactiveRejuvenation: sustained divergence past the threshold drains
+// and restores the offending version automatically.
+func TestReactiveRejuvenation(t *testing.T) {
+	rt := obs.NewRuntime(64)
+	cfg := testConfig()
+	cfg.DivergenceWindow = 8
+	cfg.DivergenceThreshold = 0.5
+	s := newTestServer(t, cfg, rt)
+	if err := s.Compromise(1); err != nil {
+		t.Fatal(err)
+	}
+	reactive := rt.Metrics().Counter("mvserve_rejuvenations_total", "kind", RejuvReactive)
+	fired := classifyUntil(t, s, 500, func(res Result) bool {
+		if res.Err != nil {
+			t.Fatalf("request failed during reactive rejuvenation: %v", res.Err)
+		}
+		return reactive.Value() > 0
+	})
+	if !fired {
+		t.Fatalf("reactive rejuvenation never fired (divergence %v)", s.pools[1].divergenceRate())
+	}
+	if !classifyUntil(t, s, 200, func(res Result) bool { return res.Agreeing == 3 }) {
+		t.Fatal("version still diverging after reactive rejuvenation")
+	}
+}
+
+// TestProactiveRejuvenation: the time trigger rotates through versions and
+// heals a compromised one without any divergence signal.
+func TestProactiveRejuvenation(t *testing.T) {
+	rt := obs.NewRuntime(64)
+	cfg := testConfig()
+	cfg.ProactiveInterval = 10 * time.Millisecond
+	cfg.DivergenceThreshold = 1 // isolate the proactive path
+	s := newTestServer(t, cfg, rt)
+	if err := s.Compromise(2); err != nil {
+		t.Fatal(err)
+	}
+	proactive := rt.Metrics().Counter("mvserve_rejuvenations_total", "kind", RejuvProactive)
+	deadline := time.Now().Add(5 * time.Second)
+	for proactive.Value() < 3 { // a full rotation covers version 2
+		if time.Now().After(deadline) {
+			t.Fatalf("proactive trigger too slow: %d rejuvenations", proactive.Value())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !classifyUntil(t, s, 50, func(res Result) bool { return res.Agreeing == 3 }) {
+		t.Fatal("compromised version not healed by proactive rotation")
+	}
+}
+
+// TestRejuvenationUnderLoadZeroFailures is the subsystem's acceptance
+// property: rejuvenating every version while concurrent clients hammer the
+// server must not fail a single request — degraded answers are allowed,
+// errors are not (queue-full rejections would be allowed too, but the
+// bounded concurrency here keeps the queue below its depth).
+func TestRejuvenationUnderLoadZeroFailures(t *testing.T) {
+	cfg := testConfig()
+	cfg.QueueDepth = 256
+	s := newTestServer(t, cfg, nil)
+
+	const clients = 8
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	errCh := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := s.Classify(testImage(c*1000 + i)); err != nil {
+					errCh <- fmt.Errorf("client %d request %d: %w", c, i, err)
+					return
+				}
+			}
+		}(c)
+	}
+	for round := 0; round < 3; round++ {
+		for v := 0; v < cfg.Versions; v++ {
+			if err := s.Rejuvenate(v, RejuvManual); err != nil {
+				t.Errorf("rejuvenate %d: %v", v, err)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+}
+
+func TestCloseRejectsAndFailsQueued(t *testing.T) {
+	cfg := testConfig()
+	cfg.batchGate = make(chan struct{}) // batcher never runs
+	s, err := New(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := s.submit(testImage(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	s.Close() // idempotent
+	if res := <-req.done; !errors.Is(res.Err, ErrClosed) {
+		t.Fatalf("queued request after Close: got %v, want ErrClosed", res.Err)
+	}
+	if _, err := s.Classify(testImage(1)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Classify after Close: got %v, want ErrClosed", err)
+	}
+}
+
+func TestRejuvenateValidatesVersion(t *testing.T) {
+	s := newTestServer(t, testConfig(), nil)
+	if err := s.Rejuvenate(-1, RejuvManual); err == nil {
+		t.Fatal("negative version accepted")
+	}
+	if err := s.Rejuvenate(99, RejuvManual); err == nil {
+		t.Fatal("out-of-range version accepted")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.Versions = 0 },
+		func(c *Config) { c.WorkersPerVersion = 0 },
+		func(c *Config) { c.QueueDepth = 0 },
+		func(c *Config) { c.MaxBatch = 0 },
+		func(c *Config) { c.MaxBatchWait = 0 },
+		func(c *Config) { c.RequestTimeout = 0 },
+		func(c *Config) { c.DivergenceWindow = 0 },
+		func(c *Config) { c.DivergenceThreshold = 0 },
+		func(c *Config) { c.DivergenceThreshold = 1.5 },
+	}
+	for i, mutate := range bad {
+		cfg := DefaultConfig()
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %d should be invalid", i)
+		}
+	}
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+}
+
+// TestRealEnsembleServes exercises the default three-architecture ensemble
+// (untrained, so construction is fast) end to end.
+func TestRealEnsembleServes(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.WorkersPerVersion = 1
+	s := newTestServer(t, cfg, nil)
+	res, err := s.Classify(testImage(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three diverse untrained architectures rarely agree; whatever the vote
+	// does, the request must be answered, not failed.
+	if res.Proposals == 0 {
+		t.Fatalf("no proposals from the real ensemble: %+v", res)
+	}
+}

@@ -1,6 +1,11 @@
 package signs
 
 import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync"
 	"testing"
 
 	"mvml/internal/nn"
@@ -27,6 +32,42 @@ func TestGenerateCounts(t *testing.T) {
 	}
 }
 
+// datasetsIdentical reports whether two datasets are byte-identical across
+// both splits (labels and every pixel).
+func datasetsIdentical(a, b *Dataset) error {
+	for split, pair := range map[string][2][]nn.Sample{
+		"train": {a.Train, b.Train},
+		"test":  {a.Test, b.Test},
+	} {
+		x, y := pair[0], pair[1]
+		if len(x) != len(y) {
+			return fmt.Errorf("%s sizes differ: %d vs %d", split, len(x), len(y))
+		}
+		for i := range x {
+			if x[i].Label != y[i].Label {
+				return fmt.Errorf("%s labels diverge at %d", split, i)
+			}
+			if !bytes.Equal(pixelBytes(x[i].X.Data), pixelBytes(y[i].X.Data)) {
+				return fmt.Errorf("%s pixels diverge at sample %d", split, i)
+			}
+		}
+	}
+	return nil
+}
+
+// pixelBytes reinterprets a float32 image as raw bytes so equality is exact
+// bit-identity, not merely numeric (-0 vs 0, NaN payloads).
+func pixelBytes(data []float32) []byte {
+	out := make([]byte, 4*len(data))
+	for i, v := range data {
+		binary.LittleEndian.PutUint32(out[4*i:], math.Float32bits(v))
+	}
+	return out
+}
+
+// TestGenerateDeterministic: the serving stack warms its models from this
+// generator at startup, so the same config+seed must yield a byte-identical
+// dataset on every call.
 func TestGenerateDeterministic(t *testing.T) {
 	a, err := Generate(smallConfig())
 	if err != nil {
@@ -36,14 +77,37 @@ func TestGenerateDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for i := range a.Train {
-		if a.Train[i].Label != b.Train[i].Label {
-			t.Fatalf("labels diverge at %d", i)
+	if err := datasetsIdentical(a, b); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGenerateConcurrent exercises concurrent Generate calls under the race
+// detector: generation must share no hidden mutable state, and every
+// concurrent result must be byte-identical to a sequential baseline.
+func TestGenerateConcurrent(t *testing.T) {
+	baseline, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	results := make([]*Dataset, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			results[w], errs[w] = Generate(smallConfig())
+		}(w)
+	}
+	wg.Wait()
+	for w := 0; w < workers; w++ {
+		if errs[w] != nil {
+			t.Fatalf("worker %d: %v", w, errs[w])
 		}
-		for j := range a.Train[i].X.Data {
-			if a.Train[i].X.Data[j] != b.Train[i].X.Data[j] {
-				t.Fatalf("pixels diverge at sample %d pixel %d", i, j)
-			}
+		if err := datasetsIdentical(baseline, results[w]); err != nil {
+			t.Fatalf("worker %d: %v", w, err)
 		}
 	}
 }
