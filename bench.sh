@@ -1,0 +1,52 @@
+#!/bin/sh
+# bench.sh — runs the parallel-runner benchmarks (DSPN transient replications
+# and drivesim episodes at 1/2/4/8 workers) and emits BENCH_parallel.json
+# with per-width ns/op and the speedup over workers=1.
+#
+# Results are worker-count-invariant by construction (see
+# internal/parallel), so this measures scheduling only. Speedups scale with
+# the number of CPUs actually available: on a single-core machine every
+# width runs at ~1.0x.
+#
+# Usage: ./bench.sh [output.json]
+set -eu
+cd "$(dirname "$0")"
+
+out=${1:-BENCH_parallel.json}
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+echo "==> go test -bench BenchmarkParallel (this runs the full fan-outs; be patient)"
+go test -run '^$' -bench '^BenchmarkParallel' -benchtime 1x -count 1 . | tee "$raw"
+
+awk -v ncpu="$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)" '
+/^BenchmarkParallel/ {
+    # BenchmarkParallelTransient/workers=4-8   1   123456 ns/op ...
+    split($1, parts, "/")
+    bench = substr(parts[1], length("BenchmarkParallel") + 1)
+    split(parts[2], wp, /[=-]/)
+    w = wp[2]
+    ns[bench, w] = $3
+    if (!(bench in seen)) { order[++n] = bench; seen[bench] = 1 }
+    widths[w] = w
+}
+END {
+    printf "{\n  \"cpus\": %d,\n  \"benchmarks\": {", ncpu
+    for (i = 1; i <= n; i++) {
+        b = order[i]
+        printf "%s\n    \"%s\": {", (i > 1 ? "," : ""), tolower(b)
+        first = 1
+        for (w = 1; w <= 8; w *= 2) {
+            if (!((b, w) in ns)) continue
+            sp = ns[b, 1] > 0 ? ns[b, 1] / ns[b, w] : 0
+            printf "%s\n      \"workers=%d\": {\"ns_per_op\": %d, \"speedup_vs_1\": %.3f}", \
+                (first ? "" : ","), w, ns[b, w], sp
+            first = 0
+        }
+        printf "\n    }"
+    }
+    printf "\n  }\n}\n"
+}' "$raw" > "$out"
+
+echo "==> wrote $out"
+cat "$out"

@@ -1,0 +1,55 @@
+// Benchmarks for the deterministic parallel runner: the two heaviest
+// Monte-Carlo fan-outs (DSPN transient replications and drivesim episodes)
+// at worker counts 1, 2, 4 and 8. Because results are worker-count-invariant
+// by construction, these benchmarks measure pure scheduling cost/benefit;
+// bench.sh parses them into BENCH_parallel.json. On a single-core machine
+// expect ~1.0x at every width — the contract is that extra workers never
+// change results and never cost more than goroutine bookkeeping.
+package mvml_test
+
+import (
+	"fmt"
+	"testing"
+
+	"mvml/internal/experiments"
+	"mvml/internal/reliability"
+	"mvml/internal/xrand"
+)
+
+var parallelWidths = []int{1, 2, 4, 8}
+
+func BenchmarkParallelTransient(b *testing.B) {
+	model, err := reliability.NewModel(3, reliability.DefaultParams(), true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	times := []float64{300, 1523, 6092}
+	for _, workers := range parallelWidths {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				pts, err := model.TransientReliability(times, 400, workers, xrand.New(uint64(i)+1))
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(pts[len(pts)-1].Reward.Mean, "R(6092s)")
+			}
+		})
+	}
+}
+
+func BenchmarkParallelDrivesim(b *testing.B) {
+	for _, workers := range parallelWidths {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := experiments.DefaultCaseStudyConfig()
+			cfg.RunsPerRoute = 2
+			cfg.Workers = workers
+			for i := 0; i < b.N; i++ {
+				res, err := experiments.RunTableVIII(cfg, 2)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.Rows[0].FPS.Mean, "fps-1v")
+			}
+		})
+	}
+}

@@ -207,7 +207,7 @@ func BenchmarkExtensionTransient(b *testing.B) {
 	}
 	times := []float64{300, 1523, 6092}
 	for i := 0; i < b.N; i++ {
-		pts, err := model.TransientReliability(times, 800, xrand.New(uint64(i)+1))
+		pts, err := model.TransientReliability(times, 800, 0, xrand.New(uint64(i)+1))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -221,7 +221,7 @@ func BenchmarkExtensionFaultSensitivity(b *testing.B) {
 	cfg.Dataset.TestPerClass = 6
 	cfg.Epochs = 6
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.RunFaultSensitivity(cfg, 6)
+		res, err := experiments.RunFaultSensitivity(cfg, 6, 0)
 		if err != nil {
 			b.Fatal(err)
 		}

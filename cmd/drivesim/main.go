@@ -31,6 +31,7 @@ func main() {
 	ablation := flag.String("ablation", "", "ablation study: voting, selection, or clocks")
 	all := flag.Bool("all", false, "run every case-study experiment")
 	runs := flag.Int("runs", 5, "runs per route")
+	workers := flag.Int("workers", 0, "concurrent simulation runs (0 = GOMAXPROCS; results are worker-count-invariant)")
 	seed := flag.Uint64("seed", 2025, "root random seed")
 	var tele obs.CLI
 	tele.RegisterFlags(flag.CommandLine)
@@ -41,7 +42,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "drivesim:", err)
 		os.Exit(1)
 	}
-	runErr := run(*table, *mapPath, *ablation, *all, *runs, *seed, rt)
+	runErr := run(*table, *mapPath, *ablation, *all, *runs, *workers, *seed, rt)
 	if err := tele.Finish(map[string]any{
 		"command": "drivesim", "seed": *seed, "runs": *runs,
 	}); err != nil {
@@ -53,10 +54,11 @@ func main() {
 	}
 }
 
-func run(table int, mapPath, ablation string, all bool, runs int, seed uint64, rt *obs.Runtime) error {
+func run(table int, mapPath, ablation string, all bool, runs, workers int, seed uint64, rt *obs.Runtime) error {
 	cfg := experiments.DefaultCaseStudyConfig()
 	cfg.RunsPerRoute = runs
 	cfg.Seed = seed
+	cfg.Workers = workers
 	cfg.Obs = rt
 
 	ran := false

@@ -28,6 +28,7 @@ func main() {
 	erlang := flag.Int("erlang", 0, "Erlang stages for the cross-validation solve (0 = skip)")
 	transient := flag.Bool("transient", false, "also print the mission-time reliability curve E[R(t)]")
 	horizon := flag.Float64("horizon", 0, "simulation horizon (0 = default)")
+	workers := flag.Int("workers", 0, "concurrent transient replications (0 = GOMAXPROCS; results are worker-count-invariant)")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	var tele obs.CLI
 	tele.RegisterFlags(flag.CommandLine)
@@ -38,7 +39,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "dspn:", err)
 		os.Exit(1)
 	}
-	runErr := run(*n, *interval, *erlang, *transient, *horizon, *seed, rt)
+	runErr := run(*n, *interval, *erlang, *transient, *horizon, *workers, *seed, rt)
 	if err := tele.Finish(map[string]any{
 		"command": "dspn", "versions": *n, "seed": *seed,
 	}); err != nil {
@@ -66,7 +67,7 @@ func printStates(probs map[reliability.State]float64) {
 	}
 }
 
-func run(n int, interval float64, erlang int, transient bool, horizon float64, seed uint64, rt *obs.Runtime) error {
+func run(n int, interval float64, erlang int, transient bool, horizon float64, workers int, seed uint64, rt *obs.Runtime) error {
 	params := reliability.DefaultParams()
 	if interval > 0 {
 		params.RejuvenationInterval = interval
@@ -122,11 +123,11 @@ func run(n int, interval float64, erlang int, transient bool, horizon float64, s
 		}
 		fmt.Println("\nmission-time reliability E[R(t)] from an all-healthy start:")
 		fmt.Println("  t (s)        w/ rejuvenation          w/o proactive rejuvenation")
-		withPts, err := with.TransientReliability(times, 2000, rng.Split("transient-with", 0))
+		withPts, err := with.TransientReliability(times, 2000, workers, rng.Split("transient-with", 0))
 		if err != nil {
 			return err
 		}
-		withoutPts, err := without.TransientReliability(times, 2000, rng.Split("transient-without", 0))
+		withoutPts, err := without.TransientReliability(times, 2000, workers, rng.Split("transient-without", 0))
 		if err != nil {
 			return err
 		}

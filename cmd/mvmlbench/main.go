@@ -31,6 +31,7 @@ func main() {
 	campaign := flag.Bool("campaign", false, "run the per-layer fault-sensitivity campaign (trains 1 model)")
 	all := flag.Bool("all", false, "run every reliability-side experiment")
 	quick := flag.Bool("quick", false, "reduced dataset/training budget for Table II")
+	workers := flag.Int("workers", 0, "concurrent replications for fan-out experiments (0 = GOMAXPROCS; results are worker-count-invariant)")
 	seed := flag.Uint64("seed", 1, "random seed for simulations")
 	horizon := flag.Float64("horizon", 0, "DSPN simulation horizon in model seconds (0 = default)")
 	var tele obs.CLI
@@ -42,7 +43,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mvmlbench:", err)
 		os.Exit(1)
 	}
-	runErr := run(*table, *fig, *nversion, *diversity, *campaign, *all, *quick, *seed, *horizon, rt)
+	runErr := run(*table, *fig, *nversion, *diversity, *campaign, *all, *quick, *workers, *seed, *horizon, rt)
 	if err := tele.Finish(map[string]any{
 		"command": "mvmlbench", "seed": *seed,
 	}); err != nil {
@@ -54,7 +55,7 @@ func main() {
 	}
 }
 
-func run(table int, fig string, nversion, diversity, campaign, all, quick bool, seed uint64, horizon float64, rt *obs.Runtime) error {
+func run(table int, fig string, nversion, diversity, campaign, all, quick bool, workers int, seed uint64, horizon float64, rt *obs.Runtime) error {
 	rng := xrand.New(seed)
 	params := reliability.DefaultParams()
 	simCfg := reliability.DefaultSimConfig()
@@ -118,7 +119,9 @@ func run(table int, fig string, nversion, diversity, campaign, all, quick bool, 
 	}
 	if nversion || all {
 		ran = true
-		res, err := experiments.RunNVersionStudy(experiments.DefaultNVersionStudyConfig())
+		nvCfg := experiments.DefaultNVersionStudyConfig()
+		nvCfg.Workers = workers
+		res, err := experiments.RunNVersionStudy(nvCfg)
 		if err != nil {
 			return err
 		}
@@ -142,7 +145,7 @@ func run(table int, fig string, nversion, diversity, campaign, all, quick bool, 
 		if !quick {
 			cfg = experiments.DefaultTableIIConfig()
 		}
-		res, err := experiments.RunFaultSensitivity(cfg, 20)
+		res, err := experiments.RunFaultSensitivity(cfg, 20, workers)
 		if err != nil {
 			return err
 		}

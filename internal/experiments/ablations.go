@@ -6,6 +6,7 @@ import (
 
 	"mvml/internal/core"
 	"mvml/internal/drivesim"
+	"mvml/internal/parallel"
 	"mvml/internal/perception"
 	"mvml/internal/reliability"
 	"mvml/internal/xrand"
@@ -47,35 +48,46 @@ func (r *AblationResult) Render() string {
 }
 
 // driveArm runs every route once per run index with a pipeline factory and
-// aggregates collision statistics.
+// aggregates collision statistics. The route x run grid is flattened into
+// one fan-out (cfg.Workers bounds concurrency); every episode is
+// self-contained — a private pipeline with streams Split from the shared
+// root by its (route, run) seed — and the per-episode results come back in
+// grid order, so the aggregation reduces in the sequential order for any
+// worker count.
 func driveArm(cfg CaseStudyConfig, makePipe func(seed uint64, rng *xrand.Rand) (drivesim.PerceptionSystem, error),
 	root *xrand.Rand) (AblationRow, error) {
-	var row AblationRow
-	var collFrames, frames int
-	var skipSum float64
-	for route := 1; route <= drivesim.NumRoutes; route++ {
-		for run := 0; run < cfg.RunsPerRoute; run++ {
+	episodes, err := parallel.Run(root, "episode", drivesim.NumRoutes*cfg.RunsPerRoute,
+		parallel.Options{
+			Workers:  cfg.Workers,
+			Progress: parallel.RegistryProgress(cfg.Obs.Metrics(), "ablation"),
+		}, func(rep int, _ *xrand.Rand) (*drivesim.Result, error) {
+			route := 1 + rep/cfg.RunsPerRoute
+			run := rep % cfg.RunsPerRoute
 			seed := uint64(route*100 + run)
 			pipe, err := makePipe(seed, root.Split("sys", seed))
 			if err != nil {
-				return AblationRow{}, err
+				return nil, err
 			}
 			if p, ok := pipe.(*perception.Pipeline); ok {
 				p.Instrument(cfg.Obs.Metrics(), cfg.Obs.Tracer())
 			}
-			res, err := drivesim.Run(drivesim.Config{RouteNumber: route, CruiseSpeed: cfg.CruiseSpeed,
+			return drivesim.Run(drivesim.Config{RouteNumber: route, CruiseSpeed: cfg.CruiseSpeed,
 				Metrics: cfg.Obs.Metrics(), Tracer: cfg.Obs.Tracer()},
 				pipe, root.Split("sim", seed))
-			if err != nil {
-				return AblationRow{}, err
-			}
-			row.Runs++
-			frames += res.TotalFrames
-			collFrames += res.CollisionFrames
-			skipSum += res.SkipRatio()
-			if res.Collided {
-				row.CollidedRuns++
-			}
+		})
+	if err != nil {
+		return AblationRow{}, err
+	}
+	var row AblationRow
+	var collFrames, frames int
+	var skipSum float64
+	for _, res := range episodes {
+		row.Runs++
+		frames += res.TotalFrames
+		collFrames += res.CollisionFrames
+		skipSum += res.SkipRatio()
+		if res.Collided {
+			row.CollidedRuns++
 		}
 	}
 	if frames > 0 {

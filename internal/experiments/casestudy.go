@@ -6,6 +6,7 @@ import (
 	"mvml/internal/core"
 	"mvml/internal/drivesim"
 	"mvml/internal/obs"
+	"mvml/internal/parallel"
 	"mvml/internal/perception"
 	"mvml/internal/stats"
 	"mvml/internal/xrand"
@@ -26,6 +27,10 @@ type CaseStudyConfig struct {
 	System core.Config
 	// Seed drives all runs.
 	Seed uint64
+	// Workers bounds concurrent simulation runs (<= 0 = GOMAXPROCS). Every
+	// run's randomness is Split from the experiment root by (route, run)
+	// seed, so results are identical for every worker count.
+	Workers int
 	// Obs, when non-nil, instruments every pipeline and simulation run in
 	// the experiment: module state/rejuvenation series and latency
 	// histograms accumulate across runs in one registry, and per-run
@@ -88,24 +93,33 @@ func runRoute(cfg CaseStudyConfig, route int, rejuvenate bool, root *xrand.Rand)
 	if !rejuvenate {
 		arm = "without_rejuvenation"
 	}
-	for run := 0; run < cfg.RunsPerRoute; run++ {
+	// Fan the runs out. Each run derives its streams from the shared root
+	// by its (route, run) seed — a pure read of root — and builds a private
+	// pipeline, so runs are self-contained; the results come back in run
+	// order and the aggregation below sums in the sequential order.
+	runs, err := parallel.Run(root, "run", cfg.RunsPerRoute, parallel.Options{
+		Workers:  cfg.Workers,
+		Progress: parallel.RegistryProgress(cfg.Obs.Metrics(), "casestudy"),
+	}, func(run int, _ *xrand.Rand) (*drivesim.Result, error) {
 		seed := uint64(route*100 + run)
 		pipe, err := perception.NewPipeline(3, cfg.Detector, sysCfg, seed, root.Split("sys", seed))
 		if err != nil {
-			return RouteStats{}, err
+			return nil, err
 		}
 		pipe.Instrument(cfg.Obs.Metrics(), cfg.Obs.Tracer())
 		cfg.Obs.Metrics().Counter(MetricExperimentRuns,
 			"route", fmt.Sprintf("%d", route), "arm", arm).Inc()
-		res, err := drivesim.Run(drivesim.Config{
+		return drivesim.Run(drivesim.Config{
 			RouteNumber: route,
 			CruiseSpeed: cfg.CruiseSpeed,
 			Metrics:     cfg.Obs.Metrics(),
 			Tracer:      cfg.Obs.Tracer(),
 		}, pipe, root.Split("sim", seed))
-		if err != nil {
-			return RouteStats{}, err
-		}
+	})
+	if err != nil {
+		return RouteStats{}, err
+	}
+	for _, res := range runs {
 		agg.Route = res.Route
 		totalSum += res.TotalFrames
 		frames += res.TotalFrames
@@ -312,24 +326,37 @@ func RunTableVIII(cfg CaseStudyConfig, runs int) (*TableVIIIResult, error) {
 		{"Three-v w/rej", 3, faultyWithRejuvenation},
 	}
 	for ai, a := range arms {
-		var fps, cpu, gpu []float64
-		for run := 0; run < runs; run++ {
+		// Per-arm fan-out over the repeated runs; per-run results come back
+		// in run order, so the CI inputs below are assembled exactly as the
+		// sequential loop did.
+		type overhead struct{ fps, cpu, gpu float64 }
+		runRes, err := parallel.Run(root, "run", runs, parallel.Options{
+			Workers:  cfg.Workers,
+			Progress: parallel.RegistryProgress(cfg.Obs.Metrics(), "tableviii"),
+		}, func(run int, _ *xrand.Rand) (overhead, error) {
 			seed := uint64(ai*100 + run)
 			pipe, err := perception.NewPipeline(a.versions, cfg.Detector, a.system, seed,
 				root.Split("sys", seed))
 			if err != nil {
-				return nil, err
+				return overhead{}, err
 			}
 			pipe.Instrument(cfg.Obs.Metrics(), cfg.Obs.Tracer())
 			r, err := drivesim.Run(drivesim.Config{RouteNumber: 1, CruiseSpeed: cfg.CruiseSpeed,
 				Metrics: cfg.Obs.Metrics(), Tracer: cfg.Obs.Tracer()},
 				pipe, root.Split("sim", seed))
 			if err != nil {
-				return nil, err
+				return overhead{}, err
 			}
-			fps = append(fps, r.AvgFPS)
-			cpu = append(cpu, r.AvgCPUUtil)
-			gpu = append(gpu, r.AvgGPUUtil)
+			return overhead{fps: r.AvgFPS, cpu: r.AvgCPUUtil, gpu: r.AvgGPUUtil}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		var fps, cpu, gpu []float64
+		for _, r := range runRes {
+			fps = append(fps, r.fps)
+			cpu = append(cpu, r.cpu)
+			gpu = append(gpu, r.gpu)
 		}
 		fpsCI, err := stats.MeanCI(fps, 0.95)
 		if err != nil {

@@ -45,7 +45,7 @@ func TestFaultSensitivityMechanics(t *testing.T) {
 	if testing.Short() {
 		t.Skip("training experiment skipped in -short mode")
 	}
-	res, err := RunFaultSensitivity(tinyTableIIConfig(), 3)
+	res, err := RunFaultSensitivity(tinyTableIIConfig(), 3, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +64,7 @@ func TestFaultSensitivityMechanics(t *testing.T) {
 			}
 		}
 	}
-	if _, err := RunFaultSensitivity(tinyTableIIConfig(), 0); err == nil {
+	if _, err := RunFaultSensitivity(tinyTableIIConfig(), 0, 0); err == nil {
 		t.Fatal("expected error for zero trials")
 	}
 }

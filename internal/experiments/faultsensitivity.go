@@ -21,7 +21,9 @@ type FaultSensitivityResult struct {
 // RunFaultSensitivity trains one LeNet-style classifier on the configured
 // dataset and sweeps every parameterised layer with the weight-value
 // (the paper's random_weight_inj range) and bit-flip fault models.
-func RunFaultSensitivity(cfg TableIIConfig, trialsPerLayer int) (*FaultSensitivityResult, error) {
+// Injection trials fan out over `workers` goroutines (<= 0 = GOMAXPROCS)
+// on replicated networks; results are identical for every worker count.
+func RunFaultSensitivity(cfg TableIIConfig, trialsPerLayer, workers int) (*FaultSensitivityResult, error) {
 	if trialsPerLayer < 1 {
 		return nil, fmt.Errorf("experiments: trialsPerLayer %d < 1", trialsPerLayer)
 	}
@@ -35,16 +37,29 @@ func RunFaultSensitivity(cfg TableIIConfig, trialsPerLayer int) (*FaultSensitivi
 		return nil, err
 	}
 
+	// Concurrent trials need private networks: rebuild the architecture
+	// (the init draws are overwritten) and copy the trained weights in.
+	trained := net.CloneWeights()
+	replicate := func() (*nn.Network, error) {
+		clone := nn.NewLeNetSmall(signs.NumClasses, xrand.New(0))
+		if err := clone.RestoreWeights(trained); err != nil {
+			return nil, err
+		}
+		return clone, nil
+	}
+
 	res := &FaultSensitivityResult{Model: net.Name}
 	kinds := []faultinject.CampaignConfig{
 		{
 			Kind: faultinject.KindWeightValue, TrialsPerLayer: trialsPerLayer,
 			MinVal: cfg.InjectMin, MaxVal: cfg.InjectMax,
 			CriticalAccuracy: 0.5, Seed: cfg.Seed,
+			Workers: workers, Replicate: replicate,
 		},
 		{
 			Kind: faultinject.KindBitFlip, TrialsPerLayer: trialsPerLayer,
 			CriticalAccuracy: 0.5, Seed: cfg.Seed,
+			Workers: workers, Replicate: replicate,
 		},
 	}
 	for _, kindCfg := range kinds {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"mvml/internal/core"
+	"mvml/internal/parallel"
 	"mvml/internal/xrand"
 )
 
@@ -29,6 +30,10 @@ type NVersionStudyConfig struct {
 	System core.Config
 	// Seed drives the runs.
 	Seed uint64
+	// Workers bounds concurrent (ensemble size, voter) configurations
+	// (<= 0 = GOMAXPROCS). Every configuration seeds its own streams from
+	// Seed, so results are identical for every worker count.
+	Workers int
 }
 
 // DefaultNVersionStudyConfig uses the paper's fitted error parameters and a
@@ -100,12 +105,27 @@ func RunNVersionStudy(cfg NVersionStudyConfig) (*NVersionStudyResult, error) {
 	if cfg.Requests < 1 {
 		return nil, fmt.Errorf("experiments: Requests %d < 1", cfg.Requests)
 	}
-	res := &NVersionStudyResult{}
+	// Enumerate the sweep's (ensemble size, voter) configurations, then fan
+	// them out. Every configuration is self-contained: it derives all of
+	// its streams from fresh generators seeded by cfg.Seed and builds
+	// private ensembles and voters, so the rows — collected in enumeration
+	// order — are identical for every worker count.
+	type rowSpec struct{ versions, voterIdx int }
+	var specs []rowSpec
 	for n := 1; n <= cfg.MaxVersions; n++ {
-		for _, vc := range voterChoices() {
+		for vi, vc := range voterChoices() {
 			if n == 1 && vc.name != "majority" {
 				continue // all voters coincide for a single version
 			}
+			specs = append(specs, rowSpec{versions: n, voterIdx: vi})
+		}
+	}
+	rows, err := parallel.Run(xrand.New(cfg.Seed), "row", len(specs),
+		parallel.Options{Workers: cfg.Workers},
+		func(rep int, _ *xrand.Rand) (NVersionRow, error) {
+			spec := specs[rep]
+			n := spec.versions
+			vc := voterChoices()[spec.voterIdx]
 			row := NVersionRow{Versions: n, Voter: vc.name}
 			for _, rejuvenate := range []bool{true, false} {
 				sysCfg := cfg.System
@@ -116,13 +136,13 @@ func RunNVersionStudy(cfg NVersionStudyConfig) (*NVersionStudyResult, error) {
 				ensembleCfg.Versions = n
 				versions, err := core.NewSyntheticEnsemble(ensembleCfg)
 				if err != nil {
-					return nil, err
+					return NVersionRow{}, err
 				}
 				sys, err := core.NewSystem[core.LabeledInput, int](
 					versions, vc.voter, sysCfg,
 					xrand.New(cfg.Seed).Split("sys", uint64(n*10)+boolBit(rejuvenate)))
 				if err != nil {
-					return nil, err
+					return NVersionRow{}, err
 				}
 				inputs := xrand.New(cfg.Seed).Split("inputs", 0)
 				correct, wrong := 0, 0
@@ -130,7 +150,7 @@ func RunNVersionStudy(cfg NVersionStudyConfig) (*NVersionStudyResult, error) {
 					truth := inputs.Intn(ensembleCfg.Classes)
 					d, _, err := sys.Infer(float64(i)*cfg.Period, core.LabeledInput{ID: i, Truth: truth})
 					if err != nil {
-						return nil, err
+						return NVersionRow{}, err
 					}
 					switch {
 					case d.Skipped:
@@ -153,10 +173,12 @@ func RunNVersionStudy(cfg NVersionStudyConfig) (*NVersionStudyResult, error) {
 					row.SkipWithout = skip
 				}
 			}
-			res.Rows = append(res.Rows, row)
-		}
+			return row, nil
+		})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &NVersionStudyResult{Rows: rows}, nil
 }
 
 func boolBit(b bool) uint64 {

@@ -2,8 +2,10 @@ package faultinject
 
 import (
 	"fmt"
+	"runtime"
 
 	"mvml/internal/nn"
+	"mvml/internal/parallel"
 	"mvml/internal/xrand"
 )
 
@@ -53,6 +55,17 @@ type CampaignConfig struct {
 	CriticalAccuracy float64
 	// Seed drives the injections.
 	Seed uint64
+	// Workers bounds concurrent trials (<= 0 = GOMAXPROCS). Layer forward
+	// passes record state, so concurrent trials each need a private network:
+	// parallel execution requires Replicate; without it the campaign runs
+	// sequentially. Every trial's stream is a pure function of (Seed, layer,
+	// trial) and accuracy is evaluated on identical weights, so results are
+	// identical for every worker count.
+	Workers int
+	// Replicate returns an independent network with the same architecture
+	// and weights as the campaign target (e.g. rebuild + RestoreWeights).
+	// Called once per extra worker.
+	Replicate func() (*nn.Network, error)
 }
 
 // Validate reports configuration errors.
@@ -116,10 +129,67 @@ func RunCampaign(net *nn.Network, eval []nn.Sample, cfg CampaignConfig, rng *xra
 		}
 	}
 	paramLayers := net.ParamLayers()
+
+	// Replica pool for concurrent trials. Injections mutate weights and
+	// forward passes record per-layer state, so two in-flight trials must
+	// never share a network; each worker borrows a replica (the original
+	// counts as one), injects, evaluates, reverts and returns it pristine.
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Replicate == nil {
+		workers = 1
+	}
+	if workers > cfg.TrialsPerLayer {
+		workers = cfg.TrialsPerLayer
+	}
+	replicas := make(chan *nn.Network, workers)
+	replicas <- net
+	for i := 1; i < workers; i++ {
+		clone, err := cfg.Replicate()
+		if err != nil {
+			return nil, fmt.Errorf("faultinject: replicate network: %w", err)
+		}
+		if clone == nil {
+			return nil, fmt.Errorf("faultinject: Replicate returned a nil network")
+		}
+		replicas <- clone
+	}
+	root := xrand.New(cfg.Seed)
+
 	res := &CampaignResult{Kind: cfg.Kind, Baseline: baseline}
 	for _, layer := range layers {
 		if layer < 0 || layer >= len(paramLayers) {
 			return nil, fmt.Errorf("%w: %d", ErrNoSuchLayer, layer)
+		}
+		// Per-trial streams are Split from root by (layer, trial), exactly
+		// as the sequential campaign derived them; accuracies come back in
+		// trial order, so the reduction below matches the sequential one.
+		accs, err := parallel.Run(root, fmt.Sprintf("campaign/%d", layer), cfg.TrialsPerLayer,
+			parallel.Options{Workers: workers},
+			func(trial int, r *xrand.Rand) (float64, error) {
+				target := <-replicas
+				defer func() { replicas <- target }()
+				var inj Injection
+				var err error
+				switch cfg.Kind {
+				case KindWeightValue:
+					inj, err = RandomWeightInj(target, layer, cfg.MinVal, cfg.MaxVal, r)
+				case KindBitFlip:
+					inj, err = BitFlip(target, layer, r)
+				case KindStuckAtZero:
+					inj, err = StuckAt(target, layer, 0, r)
+				}
+				if err != nil {
+					return 0, err
+				}
+				acc, err := target.Accuracy(eval)
+				inj.Revert()
+				return acc, err
+			})
+		if err != nil {
+			return nil, err
 		}
 		impact := LayerImpact{
 			Layer:       layer,
@@ -129,25 +199,7 @@ func RunCampaign(net *nn.Network, eval []nn.Sample, cfg CampaignConfig, rng *xra
 		}
 		var sum float64
 		critical := 0
-		for trial := 0; trial < cfg.TrialsPerLayer; trial++ {
-			r := xrand.New(cfg.Seed).Split(fmt.Sprintf("campaign/%d", layer), uint64(trial))
-			var inj Injection
-			switch cfg.Kind {
-			case KindWeightValue:
-				inj, err = RandomWeightInj(net, layer, cfg.MinVal, cfg.MaxVal, r)
-			case KindBitFlip:
-				inj, err = BitFlip(net, layer, r)
-			case KindStuckAtZero:
-				inj, err = StuckAt(net, layer, 0, r)
-			}
-			if err != nil {
-				return nil, err
-			}
-			acc, err := net.Accuracy(eval)
-			inj.Revert()
-			if err != nil {
-				return nil, err
-			}
+		for _, acc := range accs {
 			sum += acc
 			if acc < impact.MinAccuracy {
 				impact.MinAccuracy = acc

@@ -19,6 +19,8 @@ type Histogram struct {
 	counts []atomic.Uint64 // len(bounds)+1; last is the +Inf bucket
 	count  atomic.Uint64
 	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+	min    atomic.Uint64 // float64 bits; +Inf until the first observation
+	max    atomic.Uint64 // float64 bits; -Inf until the first observation
 }
 
 // NewHistogram builds a histogram over the given finite upper bounds. The
@@ -39,7 +41,10 @@ func NewHistogram(bounds []float64) *Histogram {
 			dedup = append(dedup, b)
 		}
 	}
-	return &Histogram{bounds: dedup, counts: make([]atomic.Uint64, len(dedup)+1)}
+	h := &Histogram{bounds: dedup, counts: make([]atomic.Uint64, len(dedup)+1)}
+	h.min.Store(math.Float64bits(math.Inf(1)))
+	h.max.Store(math.Float64bits(math.Inf(-1)))
+	return h
 }
 
 // DefBuckets returns the conventional Prometheus default bounds, suitable
@@ -90,6 +95,18 @@ func (h *Histogram) Observe(v float64) {
 	h.counts[i].Add(1)
 	h.count.Add(1)
 	for {
+		old := h.min.Load()
+		if !(v < math.Float64frombits(old)) || h.min.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+	for {
+		old := h.max.Load()
+		if !(v > math.Float64frombits(old)) || h.max.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+	for {
 		old := h.sum.Load()
 		next := math.Float64bits(math.Float64frombits(old) + v)
 		if h.sum.CompareAndSwap(old, next) {
@@ -112,6 +129,32 @@ func (h *Histogram) Sum() float64 {
 		return 0
 	}
 	return math.Float64frombits(h.sum.Load())
+}
+
+// Min returns the smallest observation, or 0 when no finite-comparable
+// value has been observed (empty histogram, nil handle, or NaN-only input).
+func (h *Histogram) Min() float64 {
+	if h == nil {
+		return 0
+	}
+	v := math.Float64frombits(h.min.Load())
+	if math.IsInf(v, 1) {
+		return 0
+	}
+	return v
+}
+
+// Max returns the largest observation, or 0 when no finite-comparable value
+// has been observed.
+func (h *Histogram) Max() float64 {
+	if h == nil {
+		return 0
+	}
+	v := math.Float64frombits(h.max.Load())
+	if math.IsInf(v, -1) {
+		return 0
+	}
+	return v
 }
 
 // Mean returns the average observation, or 0 when empty.
@@ -148,8 +191,11 @@ func (h *Histogram) BucketCounts() []uint64 {
 // Quantile estimates the q-quantile (q in [0,1]) by linear interpolation
 // within the containing bucket, assuming the first bucket starts at 0 (or at
 // the first bound when it is negative). Observations in the +Inf overflow
-// bucket are attributed to the largest finite bound. Returns 0 when the
-// histogram is empty.
+// bucket are attributed to the largest finite bound. The estimate is then
+// clamped into [Min(), Max()], so a quantile can never lie outside the range
+// actually observed — bucket interpolation alone can overshoot when the
+// observations occupy only part of a bucket. Returns 0 when the histogram is
+// empty.
 func (h *Histogram) Quantile(q float64) float64 {
 	if h == nil {
 		return 0
@@ -170,6 +216,7 @@ func (h *Histogram) Quantile(q float64) float64 {
 	}
 	rank := q * float64(total)
 	var cum float64
+	est := math.NaN()
 	for i, c := range counts {
 		prev := cum
 		cum += float64(c)
@@ -178,11 +225,13 @@ func (h *Histogram) Quantile(q float64) float64 {
 		}
 		if i == len(h.bounds) {
 			// Overflow bucket: the largest finite bound is the best
-			// available estimate.
+			// available estimate (the clamp below pulls it up to Max).
 			if len(h.bounds) == 0 {
-				return 0
+				est = 0
+				break
 			}
-			return h.bounds[len(h.bounds)-1]
+			est = h.bounds[len(h.bounds)-1]
+			break
 		}
 		upper := h.bounds[i]
 		lower := 0.0
@@ -191,10 +240,20 @@ func (h *Histogram) Quantile(q float64) float64 {
 		} else if upper < 0 {
 			lower = upper
 		}
-		return lower + (upper-lower)*(rank-prev)/float64(c)
+		est = lower + (upper-lower)*(rank-prev)/float64(c)
+		break
 	}
-	if len(h.bounds) == 0 {
-		return 0
+	if math.IsNaN(est) {
+		if len(h.bounds) == 0 {
+			est = 0
+		} else {
+			est = h.bounds[len(h.bounds)-1]
+		}
 	}
-	return h.bounds[len(h.bounds)-1]
+	lo := math.Float64frombits(h.min.Load())
+	hi := math.Float64frombits(h.max.Load())
+	if lo <= hi { // at least one comparable observation
+		est = math.Max(lo, math.Min(hi, est))
+	}
+	return est
 }

@@ -89,17 +89,21 @@ func TestHistogramQuantileEdges(t *testing.T) {
 	if h.Quantile(0.5) != 0 {
 		t.Error("empty histogram quantile should be 0")
 	}
-	// All mass in the +Inf overflow bucket: report the largest finite bound.
+	// All mass in the +Inf overflow bucket: the bucket estimate (largest
+	// finite bound, 2) is clamped up into the observed range [50, 50].
 	h.Observe(50)
-	if got := h.Quantile(0.99); got != 2 {
-		t.Errorf("overflow quantile %v, want 2 (largest finite bound)", got)
+	if got := h.Quantile(0.99); got != 50 {
+		t.Errorf("overflow quantile %v, want 50 (clamped to observed min)", got)
 	}
 	// Out-of-range q is clamped.
-	if got := h.Quantile(-1); got != 2 {
-		t.Errorf("q=-1 -> %v, want clamp to 2", got)
+	if got := h.Quantile(-1); got != 50 {
+		t.Errorf("q=-1 -> %v, want 50", got)
 	}
-	if got := h.Quantile(2); got != 2 {
-		t.Errorf("q=2 -> %v, want clamp to 2", got)
+	if got := h.Quantile(2); got != 50 {
+		t.Errorf("q=2 -> %v, want 50", got)
+	}
+	if h.Min() != 50 || h.Max() != 50 {
+		t.Errorf("min/max = %v/%v, want 50/50", h.Min(), h.Max())
 	}
 }
 
@@ -146,7 +150,8 @@ func TestNilHandlesNoOp(t *testing.T) {
 	}
 	var h *Histogram
 	h.Observe(1)
-	if h.Count() != 0 || h.Sum() != 0 || h.Mean() != 0 || h.Bounds() != nil || h.BucketCounts() != nil {
+	if h.Count() != 0 || h.Sum() != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 ||
+		h.Bounds() != nil || h.BucketCounts() != nil {
 		t.Fatal("nil histogram must be inert")
 	}
 	var tr *Tracer

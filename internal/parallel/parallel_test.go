@@ -1,0 +1,241 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"mvml/internal/obs"
+	"mvml/internal/xrand"
+)
+
+// drawSome consumes a few values from the replication's own stream and
+// returns a digest of them, emulating a stochastic experiment body.
+func drawSome(rep int, rng *xrand.Rand) (uint64, error) {
+	var h uint64
+	for i := 0; i < 8; i++ {
+		h = h*31 + rng.Uint64()
+	}
+	return h + uint64(rep), nil
+}
+
+func TestRunMatchesSequentialForAnyWorkerCount(t *testing.T) {
+	const n = 64
+	want, err := Run(xrand.New(7), "rep", n, Options{Workers: 1}, drawSome)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 2, 3, 4, 8, 64, 100} {
+		got, err := Run(xrand.New(7), "rep", n, Options{Workers: workers}, drawSome)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: results differ from sequential", workers)
+		}
+	}
+}
+
+func TestRunSharedParentSplitsAreRaceFreeAndDeterministic(t *testing.T) {
+	// Replication bodies may derive extra streams from a captured parent;
+	// Split must be a pure read. Run under -race this doubles as the
+	// shared-parent race test.
+	root := xrand.New(42)
+	fn := func(rep int, _ *xrand.Rand) (uint64, error) {
+		a := root.Split("sys", uint64(rep*100)).Uint64()
+		b := root.Split("sim", uint64(rep*100)).Uint64()
+		return a ^ b, nil
+	}
+	want, err := Run(root, "ignored", 32, Options{Workers: 1}, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Run(root, "ignored", 32, Options{Workers: 8}, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("captured-parent splits are schedule-dependent")
+	}
+}
+
+func TestRunResultsLandInReplicationOrder(t *testing.T) {
+	got, err := Run(xrand.New(1), "rep", 100, Options{Workers: 7},
+		func(rep int, _ *xrand.Rand) (int, error) { return rep * rep, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("results[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestRunPropagatesError(t *testing.T) {
+	boom := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		_, err := Run(xrand.New(1), "rep", 50, Options{Workers: workers},
+			func(rep int, _ *xrand.Rand) (int, error) {
+				if rep%13 == 7 {
+					return 0, fmt.Errorf("rep %d: %w", rep, boom)
+				}
+				return rep, nil
+			})
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: err = %v, want wrapped boom", workers, err)
+		}
+	}
+}
+
+func TestRunSequentialErrorIsFirstFailingRep(t *testing.T) {
+	_, err := Run(xrand.New(1), "rep", 50, Options{Workers: 1},
+		func(rep int, _ *xrand.Rand) (int, error) {
+			if rep >= 10 {
+				return 0, fmt.Errorf("rep %d failed", rep)
+			}
+			return rep, nil
+		})
+	if err == nil || err.Error() != "rep 10 failed" {
+		t.Fatalf("err = %v, want rep 10 failed", err)
+	}
+}
+
+func TestRunErrorStopsDispatch(t *testing.T) {
+	var ran atomic.Int64
+	_, err := Run(xrand.New(1), "rep", 10_000, Options{Workers: 4},
+		func(rep int, _ *xrand.Rand) (int, error) {
+			ran.Add(1)
+			return 0, errors.New("immediate failure")
+		})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if n := ran.Load(); n > 100 {
+		t.Fatalf("%d replications ran after the first failure", n)
+	}
+}
+
+func TestRunPropagatesPanic(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("workers=%d: panic did not propagate", workers)
+				}
+				if workers > 1 && !strings.Contains(fmt.Sprint(r), "kaboom") {
+					t.Fatalf("workers=%d: panic value lost: %v", workers, r)
+				}
+			}()
+			_, _ = Run(xrand.New(1), "rep", 20, Options{Workers: workers},
+				func(rep int, _ *xrand.Rand) (int, error) {
+					if rep == 3 {
+						panic("kaboom")
+					}
+					return rep, nil
+				})
+		}()
+	}
+}
+
+func TestRunContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	_, err := Run(xrand.New(1), "rep", 1_000_000, Options{Workers: 4, Context: ctx},
+		func(rep int, _ *xrand.Rand) (int, error) {
+			if ran.Add(1) == 10 {
+				cancel()
+			}
+			return rep, nil
+		})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := ran.Load(); n > 10_000 {
+		t.Fatalf("%d replications ran after cancellation", n)
+	}
+}
+
+func TestRunPreCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		_, err := Run(xrand.New(1), "rep", 8, Options{Workers: workers, Context: ctx},
+			func(rep int, _ *xrand.Rand) (int, error) { return rep, nil })
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+	}
+}
+
+func TestRunProgressCountsEveryReplication(t *testing.T) {
+	for _, workers := range []int{1, 5} {
+		var calls atomic.Int64
+		var sawTotal atomic.Int64
+		_, err := Run(xrand.New(1), "rep", 37, Options{
+			Workers: workers,
+			Progress: func(done, total int) {
+				calls.Add(1)
+				sawTotal.Store(int64(total))
+			},
+		}, func(rep int, _ *xrand.Rand) (int, error) { return rep, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if calls.Load() != 37 || sawTotal.Load() != 37 {
+			t.Fatalf("workers=%d: %d progress calls (total %d), want 37",
+				workers, calls.Load(), sawTotal.Load())
+		}
+	}
+}
+
+func TestRunRacingTelemetryWrites(t *testing.T) {
+	// Replications writing to one obs registry from many goroutines must be
+	// race-free (run under -race via verify.sh) and lose no increments.
+	reg := obs.NewRegistry()
+	ctr := reg.Counter("parallel_test_reps_total", "experiment", "race")
+	hist := reg.Histogram("parallel_test_values", obs.DefBuckets(), "experiment", "race")
+	_, err := Run(xrand.New(3), "rep", 200, Options{
+		Workers:  8,
+		Progress: CounterProgress(ctr),
+	}, func(rep int, rng *xrand.Rand) (int, error) {
+		hist.Observe(rng.Float64())
+		return rep, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctr.Value() != 200 {
+		t.Fatalf("progress counter = %d, want 200", ctr.Value())
+	}
+	if hist.Count() != 200 {
+		t.Fatalf("histogram count = %d, want 200", hist.Count())
+	}
+}
+
+func TestCounterProgressNilCounterIsNoop(t *testing.T) {
+	p := CounterProgress(nil)
+	p(1, 2) // must not panic
+}
+
+func TestRunEdgeCases(t *testing.T) {
+	if _, err := Run[int](nil, "rep", 1, Options{}, func(int, *xrand.Rand) (int, error) { return 0, nil }); err == nil {
+		t.Fatal("nil root accepted")
+	}
+	if _, err := Run[int](xrand.New(1), "rep", -1, Options{}, func(int, *xrand.Rand) (int, error) { return 0, nil }); err == nil {
+		t.Fatal("negative n accepted")
+	}
+	if _, err := Run[int](xrand.New(1), "rep", 1, Options{}, nil); err == nil {
+		t.Fatal("nil fn accepted")
+	}
+	got, err := Run(xrand.New(1), "rep", 0, Options{Workers: 4},
+		func(rep int, _ *xrand.Rand) (int, error) { return rep, nil })
+	if err != nil || len(got) != 0 {
+		t.Fatalf("n=0: got %v, %v", got, err)
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sort"
 
+	"mvml/internal/obs"
+	"mvml/internal/parallel"
 	"mvml/internal/stats"
 	"mvml/internal/xrand"
 )
@@ -19,6 +21,13 @@ type TransientConfig struct {
 	Level float64
 	// MaxEvents bounds each replication (default 10e6).
 	MaxEvents int
+	// Workers bounds concurrent replications (<= 0 = GOMAXPROCS). Each
+	// replication's stream is Split from the caller's rng, so results are
+	// identical for every worker count.
+	Workers int
+	// Metrics, when non-nil, counts completed replications under
+	// mvml_parallel_replications_total{experiment="transient/<net>"}.
+	Metrics *obs.Registry
 }
 
 func (c *TransientConfig) fillDefaults() {
@@ -67,15 +76,24 @@ func TransientRewards(net *Net, cfg TransientConfig, reward func(Marking) float6
 		return nil, fmt.Errorf("petri: negative observation time %v", times[0])
 	}
 
+	// Fan the replications out: each one's generator is Split off the
+	// caller's rng exactly as the sequential loop did, and the per-rep
+	// reward vectors come back in replication order, so the estimates are
+	// identical for any worker count.
+	runs, err := parallel.Run(rng, "rep", cfg.Replications, parallel.Options{
+		Workers:  cfg.Workers,
+		Progress: parallel.RegistryProgress(cfg.Metrics, "transient/"+net.Name()),
+	}, func(rep int, repRNG *xrand.Rand) ([]float64, error) {
+		return transientRun(net, times, cfg.MaxEvents, reward, repRNG)
+	})
+	if err != nil {
+		return nil, err
+	}
 	samples := make([][]float64, len(times))
 	for i := range samples {
 		samples[i] = make([]float64, 0, cfg.Replications)
 	}
-	for rep := 0; rep < cfg.Replications; rep++ {
-		vals, err := transientRun(net, times, cfg.MaxEvents, reward, rng.Split("rep", uint64(rep)))
-		if err != nil {
-			return nil, err
-		}
+	for _, vals := range runs {
 		for i, v := range vals {
 			samples[i] = append(samples[i], v)
 		}

@@ -240,8 +240,10 @@ func (m *Model) SolveSimulation(cfg petri.SimConfig, rng *xrand.Rand) (*Result, 
 // TransientReliability estimates the expected output reliability E[R(t)]
 // at the given mission times, starting from the all-healthy initial state —
 // the mission-time complement to the steady-state Eq. 3 analysis.
-func (m *Model) TransientReliability(times []float64, replications int, rng *xrand.Rand) ([]petri.TransientPoint, error) {
-	cfg := petri.TransientConfig{Times: times, Replications: replications}
+// Replications fan out over `workers` goroutines (<= 0 = GOMAXPROCS); the
+// estimates are identical for every worker count.
+func (m *Model) TransientReliability(times []float64, replications, workers int, rng *xrand.Rand) ([]petri.TransientPoint, error) {
+	cfg := petri.TransientConfig{Times: times, Replications: replications, Workers: workers}
 	points, err := petri.TransientRewards(m.Net, cfg, m.Reward(), rng)
 	if err != nil {
 		return nil, fmt.Errorf("reliability: transient analysis of %s: %w", m.Net.Name(), err)

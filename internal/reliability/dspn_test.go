@@ -261,7 +261,7 @@ func TestTransientReliabilityCurve(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	withPts, err := with.TransientReliability(times, 1200, xrand.New(21))
+	withPts, err := with.TransientReliability(times, 1200, 0, xrand.New(21))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -269,7 +269,7 @@ func TestTransientReliabilityCurve(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	withoutPts, err := without.TransientReliability(times, 1200, xrand.New(22))
+	withoutPts, err := without.TransientReliability(times, 1200, 0, xrand.New(22))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -5,7 +5,7 @@ set -eu
 cd "$(dirname "$0")"
 
 echo "==> gofmt"
-unformatted=$(gofmt -l cmd internal examples bench_test.go)
+unformatted=$(gofmt -l cmd internal examples bench_test.go bench_parallel_test.go)
 if [ -n "$unformatted" ]; then
     echo "gofmt needed on:" >&2
     echo "$unformatted" >&2
@@ -27,5 +27,19 @@ go test -race -short ./...
 # Full pass without the race detector: every test, including training.
 echo "==> go test ./..."
 go test ./...
+
+# Worker-count equivalence: the parallel fan-outs must reproduce the
+# committed sequential golden outputs byte-for-byte at workers 1, 4 and 8.
+echo "==> parallel equivalence (golden fixtures, workers 1/4/8)"
+go test ./internal/experiments -run TestParallelEquivalenceGolden -count=1
+
+# Fuzz smoke: a few seconds per target catches regressions in the voting
+# rules, quantile estimator and RNG stream derivation without the cost of a
+# long campaign.
+echo "==> fuzz smoke"
+go test ./internal/core -run '^$' -fuzz '^FuzzVoter$' -fuzztime 5s
+go test ./internal/core -run '^$' -fuzz '^FuzzMedianVoter$' -fuzztime 5s
+go test ./internal/obs -run '^$' -fuzz '^FuzzHistogramQuantile$' -fuzztime 5s
+go test ./internal/xrand -run '^$' -fuzz '^FuzzXrandSplit$' -fuzztime 5s
 
 echo "OK"
