@@ -1,18 +1,22 @@
 #!/bin/sh
 # bench.sh — runs the parallel-runner benchmarks (DSPN transient replications
 # and drivesim episodes at 1/2/4/8 workers) and emits BENCH_parallel.json
-# with per-width ns/op and the speedup over workers=1.
+# with per-width ns/op and the speedup over workers=1, then runs the fused
+# batched-GEMM inference benchmarks (per-sample Forward vs the arena path at
+# batch 1/8/32) and emits BENCH_gemm.json with ns/op, allocs/op and the
+# fused-over-per-sample speedup.
 #
-# Results are worker-count-invariant by construction (see
-# internal/parallel), so this measures scheduling only. Speedups scale with
-# the number of CPUs actually available: on a single-core machine every
+# Parallel-runner results are worker-count-invariant by construction (see
+# internal/parallel), so that stage measures scheduling only. Speedups scale
+# with the number of CPUs actually available: on a single-core machine every
 # width runs at ~1.0x.
 #
-# Usage: ./bench.sh [output.json]
+# Usage: ./bench.sh [parallel-output.json] [gemm-output.json]
 set -eu
 cd "$(dirname "$0")"
 
 out=${1:-BENCH_parallel.json}
+out2=${2:-BENCH_gemm.json}
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
 
@@ -50,3 +54,39 @@ END {
 
 echo "==> wrote $out"
 cat "$out"
+
+echo "==> go test -bench BenchmarkGemmInference (fused vs per-sample, batch 1/8/32)"
+go test -run '^$' -bench '^BenchmarkGemmInference' -benchtime 20x -benchmem -count 1 . | tee "$raw"
+
+# BenchmarkGemmInference/model=lenet-small/path=fused/batch=8-8  20  1893092 ns/op  0 B/op  0 allocs/op
+awk -v ncpu="$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)" '
+/^BenchmarkGemmInference\// {
+    split($1, parts, "/")
+    split(parts[2], mp, "="); model = mp[2]
+    split(parts[3], pp, "="); path = pp[2]
+    split(parts[4], bp, /[=-]/); batch = bp[2]
+    ns[model, path, batch] = $3
+    allocs[model, path, batch] = $7
+    if (!(model in seen)) { order[++n] = model; seen[model] = 1 }
+}
+END {
+    printf "{\n  \"cpus\": %d,\n  \"models\": {", ncpu
+    for (i = 1; i <= n; i++) {
+        m = order[i]
+        printf "%s\n    \"%s\": {", (i > 1 ? "," : ""), m
+        first = 1
+        for (b = 1; b <= 32; b *= 2) {
+            if (!((m, "fused", b) in ns)) continue
+            per = ns[m, "persample", b]; fus = ns[m, "fused", b]
+            sp = fus > 0 ? per / fus : 0
+            printf "%s\n      \"batch=%d\": {\"persample_ns_per_op\": %d, \"fused_ns_per_op\": %d, \"speedup\": %.3f, \"persample_allocs_per_op\": %d, \"fused_allocs_per_op\": %d}", \
+                (first ? "" : ","), b, per, fus, sp, allocs[m, "persample", b], allocs[m, "fused", b]
+            first = 0
+        }
+        printf "\n    }"
+    }
+    printf "\n  }\n}\n"
+}' "$raw" > "$out2"
+
+echo "==> wrote $out2"
+cat "$out2"

@@ -1,0 +1,71 @@
+// Benchmarks for the fused batched-GEMM inference hot path: the per-sample
+// Forward loop against the arena-backed fused path, per architecture and
+// batch size. Run with
+//
+//	go test -run '^$' -bench '^BenchmarkGemmInference' -benchmem .
+//
+// or via `./bench.sh`, which parses the output into BENCH_gemm.json. The
+// fused path must report 0 allocs/op in steady state (warmed arena, reused
+// prediction slice) — that is an acceptance criterion, not an aspiration.
+package mvml_test
+
+import (
+	"fmt"
+	"testing"
+
+	"mvml/internal/nn"
+	"mvml/internal/tensor"
+	"mvml/internal/xrand"
+)
+
+func inferBatch(b *testing.B, bsz int) (*tensor.Tensor, []*tensor.Tensor) {
+	b.Helper()
+	r := xrand.New(uint64(bsz))
+	samples := make([]*tensor.Tensor, bsz)
+	for i := range samples {
+		x := tensor.New(nn.InputChannels, nn.InputSize, nn.InputSize)
+		x.RandomizeUniform(r, 0, 1)
+		samples[i] = x
+	}
+	batch, err := nn.Stack(samples)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return batch, samples
+}
+
+func BenchmarkGemmInference(b *testing.B) {
+	for _, name := range nn.AllModels() {
+		net, err := nn.NewModel(name, 7, xrand.New(uint64(name)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, bsz := range []int{1, 8, 32} {
+			batch, samples := inferBatch(b, bsz)
+			b.Run(fmt.Sprintf("model=%s/path=persample/batch=%d", name, bsz), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					for _, x := range samples {
+						if _, err := net.Predict(x); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+			})
+			b.Run(fmt.Sprintf("model=%s/path=fused/batch=%d", name, bsz), func(b *testing.B) {
+				ar := nn.NewInferenceArena()
+				preds, err := net.PredictBatchArena(batch, ar, nil) // warm the arena
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if preds, err = net.PredictBatchArena(batch, ar, preds); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

@@ -29,6 +29,7 @@ func main() {
 	nversion := flag.Bool("nversion", false, "run the N-version/voting-scheme extension study")
 	diversity := flag.Bool("diversity", false, "run the diversity-source extension study (trains 9 models)")
 	campaign := flag.Bool("campaign", false, "run the per-layer fault-sensitivity campaign (trains 1 model)")
+	inferbench := flag.Bool("inferbench", false, "measure the fused batched-GEMM inference path against the per-sample loop")
 	all := flag.Bool("all", false, "run every reliability-side experiment")
 	quick := flag.Bool("quick", false, "reduced dataset/training budget for Table II")
 	workers := flag.Int("workers", 0, "concurrent replications for fan-out experiments (0 = GOMAXPROCS; results are worker-count-invariant)")
@@ -43,7 +44,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mvmlbench:", err)
 		os.Exit(1)
 	}
-	runErr := run(*table, *fig, *nversion, *diversity, *campaign, *all, *quick, *workers, *seed, *horizon, rt)
+	runErr := run(*table, *fig, *nversion, *diversity, *campaign, *inferbench, *all, *quick, *workers, *seed, *horizon, rt)
 	if err := tele.Finish(map[string]any{
 		"command": "mvmlbench", "seed": *seed,
 	}); err != nil {
@@ -55,7 +56,7 @@ func main() {
 	}
 }
 
-func run(table int, fig string, nversion, diversity, campaign, all, quick bool, workers int, seed uint64, horizon float64, rt *obs.Runtime) error {
+func run(table int, fig string, nversion, diversity, campaign, inferbench, all, quick bool, workers int, seed uint64, horizon float64, rt *obs.Runtime) error {
 	rng := xrand.New(seed)
 	params := reliability.DefaultParams()
 	simCfg := reliability.DefaultSimConfig()
@@ -151,8 +152,22 @@ func run(table int, fig string, nversion, diversity, campaign, all, quick bool, 
 		}
 		fmt.Println(res.Render())
 	}
+	if inferbench {
+		ran = true
+		cfg := experiments.DefaultInferBenchConfig()
+		cfg.GemmWorkers = workers
+		cfg.Seed = seed
+		if quick {
+			cfg.Iters = 5
+		}
+		res, err := experiments.RunInferBench(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+	}
 	if !ran {
-		return fmt.Errorf("nothing to do: pass -table 2..5, -fig a..f, -nversion, -diversity, -campaign, or -all")
+		return fmt.Errorf("nothing to do: pass -table 2..5, -fig a..f, -nversion, -diversity, -campaign, -inferbench, or -all")
 	}
 	return nil
 }

@@ -76,6 +76,7 @@ func serveFlags(fs *flag.FlagSet) func() serve.Config {
 	epochs := fs.Int("train-epochs", 0, "train the ensemble this many epochs before serving (0 = untrained)")
 	perClass := fs.Int("train-per-class", def.Dataset.TrainPerClass, "training images per class (with -train-epochs)")
 	injects := fs.Int("inject-count", def.InjectCount, "weights perturbed per compromise event")
+	gemmWorkers := fs.Int("gemm-workers", def.GemmWorkers, "row-tile fan-out of each worker's fused conv GEMMs (<=1 sequential)")
 	proactive := fs.Duration("proactive", 0, "proactive rejuvenation interval (0 = disabled)")
 	window := fs.Int("divergence-window", def.DivergenceWindow, "reactive-trigger observation window")
 	threshold := fs.Float64("divergence-threshold", def.DivergenceThreshold, "reactive-trigger disagreement fraction")
@@ -91,6 +92,7 @@ func serveFlags(fs *flag.FlagSet) func() serve.Config {
 		cfg.TrainEpochs = *epochs
 		cfg.Dataset.TrainPerClass = *perClass
 		cfg.InjectCount = *injects
+		cfg.GemmWorkers = *gemmWorkers
 		cfg.ProactiveInterval = *proactive
 		cfg.DivergenceWindow = *window
 		cfg.DivergenceThreshold = *threshold

@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"mvml/internal/nn"
+	"mvml/internal/tensor"
+	"mvml/internal/xrand"
+)
+
+// InferBenchConfig parameterises the fused-GEMM inference micro-benchmark.
+type InferBenchConfig struct {
+	// BatchSizes to measure (default 1, 8, 32).
+	BatchSizes []int
+	// Iters is the number of timed batch inferences per measurement.
+	Iters int
+	// GemmWorkers is the row-tile fan-out of the fused path (<= 1
+	// sequential); predictions are identical for every value.
+	GemmWorkers int
+	Seed        uint64
+}
+
+// DefaultInferBenchConfig returns the measurement grid used by EXPERIMENTS.md.
+func DefaultInferBenchConfig() InferBenchConfig {
+	return InferBenchConfig{BatchSizes: []int{1, 8, 32}, Iters: 30, Seed: 1}
+}
+
+// InferBenchRow is one (model, batch size) measurement: the per-sample
+// Forward loop against the fused batched-GEMM arena path.
+type InferBenchRow struct {
+	Model        string
+	Batch        int
+	PerSampleNs  float64 // wall time per batch, per-sample path
+	FusedNs      float64 // wall time per batch, fused arena path
+	Speedup      float64
+	FusedMallocs float64 // heap objects per batch on the fused path
+}
+
+// InferBenchResult is the full measurement grid.
+type InferBenchResult struct {
+	GemmWorkers int
+	Rows        []InferBenchRow
+}
+
+// RunInferBench measures the serving hot path: per-sample Forward versus the
+// fused batched-GEMM arena path, for every architecture and batch size. The
+// two paths are differentially checked on every iteration — a prediction
+// mismatch fails the run, so the speedup numbers can never come from a
+// diverging kernel.
+func RunInferBench(cfg InferBenchConfig) (*InferBenchResult, error) {
+	if len(cfg.BatchSizes) == 0 {
+		cfg.BatchSizes = []int{1, 8, 32}
+	}
+	if cfg.Iters <= 0 {
+		cfg.Iters = 30
+	}
+	res := &InferBenchResult{GemmWorkers: cfg.GemmWorkers}
+	for _, name := range nn.AllModels() {
+		net, err := nn.NewModel(name, 7, xrand.New(cfg.Seed+uint64(name)))
+		if err != nil {
+			return nil, err
+		}
+		for _, bsz := range cfg.BatchSizes {
+			row, err := benchOne(net, name.String(), bsz, cfg)
+			if err != nil {
+				return nil, err
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res, nil
+}
+
+func benchOne(net *nn.Network, model string, bsz int, cfg InferBenchConfig) (InferBenchRow, error) {
+	r := xrand.New(cfg.Seed + uint64(bsz))
+	samples := make([]*tensor.Tensor, bsz)
+	for i := range samples {
+		x := tensor.New(nn.InputChannels, nn.InputSize, nn.InputSize)
+		x.RandomizeUniform(r, 0, 1)
+		samples[i] = x
+	}
+	batch, err := nn.Stack(samples)
+	if err != nil {
+		return InferBenchRow{}, err
+	}
+
+	ar := nn.NewInferenceArena()
+	ar.GemmWorkers = cfg.GemmWorkers
+	preds, err := net.PredictBatchArena(batch, ar, nil) // warm the arena
+	if err != nil {
+		return InferBenchRow{}, err
+	}
+
+	// Per-sample path: one Forward per sample, as the pre-fusion serving
+	// loop did.
+	perSample := func() ([]int, error) {
+		out := make([]int, bsz)
+		for i, x := range samples {
+			c, err := net.Predict(x)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = c
+		}
+		return out, nil
+	}
+
+	start := time.Now()
+	for it := 0; it < cfg.Iters; it++ {
+		ref, err := perSample()
+		if err != nil {
+			return InferBenchRow{}, err
+		}
+		for i, c := range ref {
+			if c != preds[i] {
+				return InferBenchRow{}, fmt.Errorf(
+					"inferbench: %s batch %d sample %d: fused class %d, per-sample %d",
+					model, bsz, i, preds[i], c)
+			}
+		}
+	}
+	perNs := float64(time.Since(start).Nanoseconds()) / float64(cfg.Iters)
+
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	start = time.Now()
+	for it := 0; it < cfg.Iters; it++ {
+		if preds, err = net.PredictBatchArena(batch, ar, preds); err != nil {
+			return InferBenchRow{}, err
+		}
+	}
+	fusedNs := float64(time.Since(start).Nanoseconds()) / float64(cfg.Iters)
+	runtime.ReadMemStats(&ms1)
+
+	return InferBenchRow{
+		Model:        model,
+		Batch:        bsz,
+		PerSampleNs:  perNs,
+		FusedNs:      fusedNs,
+		Speedup:      perNs / fusedNs,
+		FusedMallocs: float64(ms1.Mallocs-ms0.Mallocs) / float64(cfg.Iters),
+	}, nil
+}
+
+// Render formats the grid as an aligned table.
+func (r *InferBenchResult) Render() string {
+	t := &Table{
+		Title:   "Fused batched-GEMM inference vs per-sample Forward",
+		Headers: []string{"Model", "Batch", "Per-sample/batch", "Fused/batch", "Speedup", "Fused mallocs/batch"},
+		Notes: []string{fmt.Sprintf(
+			"gemm workers: %d; predictions differentially verified each iteration", r.GemmWorkers)},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(row.Model,
+			fmt.Sprintf("%d", row.Batch),
+			time.Duration(row.PerSampleNs).String(),
+			time.Duration(row.FusedNs).String(),
+			fmt.Sprintf("%.2fx", row.Speedup),
+			fmt.Sprintf("%.1f", row.FusedMallocs))
+	}
+	return t.String()
+}

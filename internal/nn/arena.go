@@ -1,0 +1,334 @@
+package nn
+
+import (
+	"fmt"
+
+	"mvml/internal/tensor"
+)
+
+// InferenceArena owns the reusable scratch buffers of the fused batched-GEMM
+// inference path: im2col column matrices, GEMM outputs and per-layer
+// activations, keyed by layer so every layer of a network keeps a stable
+// buffer across requests. After the first request at a given batch size the
+// steady-state serving hot path performs zero heap allocations.
+//
+// An arena is NOT safe for concurrent use — give every serving worker its
+// own arena, exactly as every worker owns its own network replica. Tensors
+// returned by arena-backed calls are owned by the arena and remain valid
+// only until the next call that uses the same arena.
+type InferenceArena struct {
+	// GemmWorkers bounds the row-tile fan-out of the convolution GEMMs;
+	// <= 1 runs sequentially. Outputs are bitwise identical for every
+	// worker count (see tensor.GemmParallel), so this only trades CPU for
+	// latency on large batches.
+	GemmWorkers int
+
+	bufs map[arenaKey]*tensor.Tensor
+}
+
+// arenaPurpose distinguishes the scratch buffers one layer may hold.
+type arenaPurpose uint8
+
+const (
+	arenaCols arenaPurpose = iota // im2col column matrix
+	arenaGemm                     // raw GEMM output before bias/reorder
+	arenaOut                      // layer activation output
+	arenaView                     // zero-copy reshaped view header
+)
+
+type arenaKey struct {
+	owner   Layer
+	purpose arenaPurpose
+}
+
+// NewInferenceArena returns an empty arena; buffers are grown on demand.
+func NewInferenceArena() *InferenceArena {
+	return &InferenceArena{bufs: make(map[arenaKey]*tensor.Tensor)}
+}
+
+// tensor returns the buffer for (owner, purpose) shaped as requested,
+// growing the backing storage when needed. Contents are unspecified — the
+// caller must overwrite every element (the tensor kernels above write, never
+// accumulate, so reuse is safe).
+func (a *InferenceArena) tensor(owner Layer, purpose arenaPurpose, shape ...int) *tensor.Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	t := a.header(owner, purpose, shape)
+	if cap(t.Data) < n {
+		t.Data = make([]float32, n)
+	}
+	t.Data = t.Data[:n]
+	return t
+}
+
+// view returns a tensor header for (owner, purpose) aliasing the given data
+// — the zero-allocation counterpart of Reshape, used by Flatten.
+func (a *InferenceArena) view(owner Layer, purpose arenaPurpose, data []float32, shape ...int) *tensor.Tensor {
+	t := a.header(owner, purpose, shape)
+	t.Data = data
+	return t
+}
+
+// header returns the cached tensor header for (owner, purpose) with its
+// Shape set, leaving Data to the caller.
+func (a *InferenceArena) header(owner Layer, purpose arenaPurpose, shape []int) *tensor.Tensor {
+	key := arenaKey{owner: owner, purpose: purpose}
+	t := a.bufs[key]
+	if t == nil {
+		t = &tensor.Tensor{}
+		a.bufs[key] = t
+	}
+	if cap(t.Shape) < len(shape) {
+		t.Shape = make([]int, len(shape))
+	}
+	t.Shape = t.Shape[:len(shape)]
+	copy(t.Shape, shape)
+	return t
+}
+
+// ArenaBatchLayer is the zero-allocation batched fast path: like BatchLayer,
+// but writing into buffers borrowed from the arena instead of allocating.
+// Implementations must never mutate their input tensor (residual blocks read
+// it again for the skip path) and must return either the input itself or an
+// arena-owned buffer.
+type ArenaBatchLayer interface {
+	ForwardBatchArena(x *tensor.Tensor, ar *InferenceArena) (*tensor.Tensor, error)
+}
+
+// Compile-time checks: every built-in layer provides the arena fast path.
+var (
+	_ ArenaBatchLayer = (*Center)(nil)
+	_ ArenaBatchLayer = (*Dense)(nil)
+	_ ArenaBatchLayer = (*Conv2D)(nil)
+	_ ArenaBatchLayer = (*ReLU)(nil)
+	_ ArenaBatchLayer = (*MaxPool2D)(nil)
+	_ ArenaBatchLayer = (*GlobalAvgPool)(nil)
+	_ ArenaBatchLayer = (*Flatten)(nil)
+	_ ArenaBatchLayer = (*Dropout)(nil)
+	_ ArenaBatchLayer = (*Residual)(nil)
+)
+
+// ForwardBatchArena runs batched inference through the arena-backed fused
+// path where layers support it, falling back to BatchLayer and then to the
+// per-sample loop. With a reused arena the steady state allocates nothing.
+func (n *Network) ForwardBatchArena(x *tensor.Tensor, ar *InferenceArena) (*tensor.Tensor, error) {
+	return forwardBatchLayers(n.Layers, x, ar)
+}
+
+// PredictBatchArena returns the argmax class per batch row via the fused
+// path. preds is reused when its capacity suffices and allocated otherwise;
+// pass nil for a fresh slice (e.g. when the result outlives the next call).
+func (n *Network) PredictBatchArena(x *tensor.Tensor, ar *InferenceArena, preds []int) ([]int, error) {
+	out, err := n.ForwardBatchArena(x, ar)
+	if err != nil {
+		return nil, err
+	}
+	return argmaxRows(out, preds), nil
+}
+
+// argmaxRows writes the per-row argmax of a (B, classes) tensor into preds,
+// growing it only when capacity is insufficient.
+func argmaxRows(out *tensor.Tensor, preds []int) []int {
+	b := out.Shape[0]
+	stride := out.Len() / b
+	if cap(preds) < b {
+		preds = make([]int, b)
+	}
+	preds = preds[:b]
+	for i := 0; i < b; i++ {
+		row := out.Data[i*stride : (i+1)*stride]
+		best := 0
+		for j, v := range row {
+			if v > row[best] {
+				best = j
+			}
+		}
+		preds[i] = best
+	}
+	return preds
+}
+
+// ForwardBatchArena implements ArenaBatchLayer (elementwise shift).
+func (l *Center) ForwardBatchArena(x *tensor.Tensor, ar *InferenceArena) (*tensor.Tensor, error) {
+	y := ar.tensor(l, arenaOut, x.Shape...)
+	off := l.Offset
+	for i, v := range x.Data {
+		y.Data[i] = v - off
+	}
+	return y, nil
+}
+
+// ForwardBatchArena implements ArenaBatchLayer with one (B, in) × (out, in)ᵀ
+// GEMM into the arena, bitwise identical to the per-sample dot products.
+func (d *Dense) ForwardBatchArena(x *tensor.Tensor, ar *InferenceArena) (*tensor.Tensor, error) {
+	out, in := d.W.Shape[0], d.W.Shape[1]
+	if len(x.Shape) != 2 || x.Shape[1] != in {
+		return nil, fmt.Errorf("dense %s: batched input shape %v, want (B, %d)", d.name, x.Shape, in)
+	}
+	b := x.Shape[0]
+	y := ar.tensor(d, arenaOut, b, out)
+	if err := tensor.GemmTransB(y, x, d.W); err != nil {
+		return nil, fmt.Errorf("dense %s: %w", d.name, err)
+	}
+	for i := 0; i < b; i++ {
+		row := y.Data[i*out : (i+1)*out]
+		for o := range row {
+			row[o] += d.B.Data[o]
+		}
+	}
+	return y, nil
+}
+
+// ForwardBatchArena implements ArenaBatchLayer: the whole batch is unrolled
+// into one column matrix and convolved with a single GEMM — one kernel
+// dispatch per layer instead of one per sample, with zero steady-state
+// allocations.
+func (c *Conv2D) ForwardBatchArena(x *tensor.Tensor, ar *InferenceArena) (*tensor.Tensor, error) {
+	if len(x.Shape) != 4 {
+		return nil, fmt.Errorf("conv %s: want (B,C,H,W) input, got %v", c.name, x.Shape)
+	}
+	outC, inC := c.Kernel.Shape[0], c.Kernel.Shape[1]
+	kh, kw := c.Kernel.Shape[2], c.Kernel.Shape[3]
+	if x.Shape[1] != inC {
+		return nil, fmt.Errorf("conv %s: input channels %d, want %d", c.name, x.Shape[1], inC)
+	}
+	b := x.Shape[0]
+	oh, ow := tensor.Conv2DShape(x.Shape[2], x.Shape[3], kh, kw, c.Stride, c.Pad)
+	if oh <= 0 || ow <= 0 {
+		return nil, fmt.Errorf("conv %s: empty output for input %v", c.name, x.Shape)
+	}
+	spatial := oh * ow
+
+	cols := ar.tensor(c, arenaCols, inC*kh*kw, b*spatial)
+	if err := tensor.Im2ColBatch(x, kh, kw, c.Stride, c.Pad, cols); err != nil {
+		return nil, fmt.Errorf("conv %s: %w", c.name, err)
+	}
+	y := ar.tensor(c, arenaGemm, outC, b*spatial)
+	if err := tensor.GemmParallel(y, c.kernelMatrix(), cols, ar.GemmWorkers); err != nil {
+		return nil, fmt.Errorf("conv %s: %w", c.name, err)
+	}
+	// Reorder (outC, B·oh·ow) → (B, outC, oh, ow), adding the bias on the
+	// way: per (sample, channel) the run is contiguous on both sides.
+	out := ar.tensor(c, arenaOut, b, outC, oh, ow)
+	for bi := 0; bi < b; bi++ {
+		dst := out.Data[bi*outC*spatial : (bi+1)*outC*spatial]
+		for o := 0; o < outC; o++ {
+			bias := c.Bias.Data[o]
+			src := y.Data[o*b*spatial+bi*spatial : o*b*spatial+(bi+1)*spatial]
+			row := dst[o*spatial : (o+1)*spatial]
+			for j, v := range src {
+				row[j] = v + bias
+			}
+		}
+	}
+	return out, nil
+}
+
+// ForwardBatchArena implements ArenaBatchLayer. NaN activations propagate
+// (v <= 0 is false for NaN), matching Forward and ForwardBatch.
+func (l *ReLU) ForwardBatchArena(x *tensor.Tensor, ar *InferenceArena) (*tensor.Tensor, error) {
+	y := ar.tensor(l, arenaOut, x.Shape...)
+	for i, v := range x.Data {
+		if v <= 0 {
+			y.Data[i] = 0
+		} else {
+			y.Data[i] = v
+		}
+	}
+	return y, nil
+}
+
+// ForwardBatchArena implements ArenaBatchLayer for (B, C, H, W) inputs.
+func (l *MaxPool2D) ForwardBatchArena(x *tensor.Tensor, ar *InferenceArena) (*tensor.Tensor, error) {
+	if len(x.Shape) != 4 {
+		return nil, fmt.Errorf("maxpool %s: want (B,C,H,W) input, got %v", l.name, x.Shape)
+	}
+	b, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	s := l.Size
+	oh, ow := h/s, w/s
+	if oh == 0 || ow == 0 {
+		return nil, fmt.Errorf("maxpool %s: input %v smaller than window %d", l.name, x.Shape, s)
+	}
+	y := ar.tensor(l, arenaOut, b, c, oh, ow)
+	oi := 0
+	for i := 0; i < b; i++ {
+		for ch := 0; ch < c; ch++ {
+			base := (i*c + ch) * h * w
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					best := x.Data[base+(oy*s)*w+ox*s]
+					for dy := 0; dy < s; dy++ {
+						rowBase := base + (oy*s+dy)*w + ox*s
+						for dx := 0; dx < s; dx++ {
+							if v := x.Data[rowBase+dx]; v > best {
+								best = v
+							}
+						}
+					}
+					y.Data[oi] = best
+					oi++
+				}
+			}
+		}
+	}
+	return y, nil
+}
+
+// ForwardBatchArena implements ArenaBatchLayer, reducing (B,C,H,W) to (B,C).
+func (l *GlobalAvgPool) ForwardBatchArena(x *tensor.Tensor, ar *InferenceArena) (*tensor.Tensor, error) {
+	if len(x.Shape) != 4 {
+		return nil, fmt.Errorf("gap %s: want (B,C,H,W) input, got %v", l.name, x.Shape)
+	}
+	b, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	y := ar.tensor(l, arenaOut, b, c)
+	inv := float32(1 / float64(h*w))
+	for i := 0; i < b; i++ {
+		for ch := 0; ch < c; ch++ {
+			base := (i*c + ch) * h * w
+			var sum float32
+			for _, v := range x.Data[base : base+h*w] {
+				sum += v
+			}
+			y.Data[i*c+ch] = sum * inv
+		}
+	}
+	return y, nil
+}
+
+// ForwardBatchArena implements ArenaBatchLayer with a cached header aliasing
+// the input — a Reshape without the allocation.
+func (l *Flatten) ForwardBatchArena(x *tensor.Tensor, ar *InferenceArena) (*tensor.Tensor, error) {
+	b := x.Shape[0]
+	return ar.view(l, arenaView, x.Data, b, x.Len()/b), nil
+}
+
+// ForwardBatchArena implements ArenaBatchLayer: dropout is the identity at
+// inference.
+func (l *Dropout) ForwardBatchArena(x *tensor.Tensor, _ *InferenceArena) (*tensor.Tensor, error) {
+	return x, nil
+}
+
+// ForwardBatchArena implements ArenaBatchLayer. Body layers write into their
+// own arena buffers and never mutate x, so the skip path reads x unchanged
+// after the body has run.
+func (l *Residual) ForwardBatchArena(x *tensor.Tensor, ar *InferenceArena) (*tensor.Tensor, error) {
+	y, err := forwardBatchLayers(l.Body, x, ar)
+	if err != nil {
+		return nil, fmt.Errorf("residual %s body: %w", l.name, err)
+	}
+	skip := x
+	if l.Proj != nil {
+		skip, err = forwardOneBatch(l.Proj, x, ar)
+		if err != nil {
+			return nil, fmt.Errorf("residual %s proj: %w", l.name, err)
+		}
+	}
+	out := ar.tensor(l, arenaOut, y.Shape...)
+	copy(out.Data, y.Data)
+	if err := out.AddInPlace(skip); err != nil {
+		return nil, fmt.Errorf("residual %s: body and skip shapes incompatible: %w", l.name, err)
+	}
+	return out, nil
+}

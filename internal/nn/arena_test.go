@@ -1,0 +1,215 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"mvml/internal/tensor"
+	"mvml/internal/xrand"
+)
+
+// TestForwardBatchArenaMatchesPerSample: the arena-backed fused-GEMM path
+// must reproduce the per-sample Forward logits bit for bit on all three
+// architectures, including with parallel GEMM tiles and across arena reuse
+// (dirty buffers must be fully overwritten).
+func TestForwardBatchArenaMatchesPerSample(t *testing.T) {
+	for _, name := range AllModels() {
+		t.Run(name.String(), func(t *testing.T) {
+			net, err := NewModel(name, 7, xrand.New(uint64(name)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			xs := randomBatch(5, xrand.New(42))
+			batch, err := Stack(xs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := make([][]float32, len(xs))
+			for i, x := range xs {
+				single, err := net.Forward(x, false)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want[i] = single.Data
+			}
+			for _, workers := range []int{0, 4} {
+				ar := NewInferenceArena()
+				ar.GemmWorkers = workers
+				for round := 0; round < 2; round++ { // round 1 reuses dirty buffers
+					out, err := net.ForwardBatchArena(batch, ar)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for i := range xs {
+						row := out.Data[i*7 : (i+1)*7]
+						for j, v := range want[i] {
+							if math.Float32bits(row[j]) != math.Float32bits(v) {
+								t.Fatalf("workers=%d round=%d sample %d logit %d: arena %v, per-sample %v",
+									workers, round, i, j, row[j], v)
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestPredictBatchArenaZeroAllocs is the steady-state serving guarantee: with
+// a warmed arena and a reused prediction slice, a full conv-net batch predict
+// performs zero heap allocations.
+func TestPredictBatchArenaZeroAllocs(t *testing.T) {
+	for _, name := range AllModels() {
+		t.Run(name.String(), func(t *testing.T) {
+			net, err := NewModel(name, 7, xrand.New(uint64(name)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			batch, err := Stack(randomBatch(8, xrand.New(8)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ar := NewInferenceArena()
+			preds, err := net.PredictBatchArena(batch, ar, nil) // warm the arena
+			if err != nil {
+				t.Fatal(err)
+			}
+			allocs := testing.AllocsPerRun(50, func() {
+				preds, err = net.PredictBatchArena(batch, ar, preds)
+				if err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs != 0 {
+				t.Fatalf("steady-state PredictBatchArena allocates %.1f objects per call, want 0", allocs)
+			}
+		})
+	}
+}
+
+// TestPredictBatchArenaMatchesPredictBatch: same classes, reused preds slice.
+func TestPredictBatchArenaMatchesPredictBatch(t *testing.T) {
+	net, err := NewModel(ModelLeNet, 7, xrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := Stack(randomBatch(6, xrand.New(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := net.PredictBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := net.PredictBatchArena(batch, NewInferenceArena(), make([]int, 0, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range want {
+		if got[i] != w {
+			t.Fatalf("sample %d: arena class %d, PredictBatch class %d", i, got[i], w)
+		}
+	}
+}
+
+// TestMaxPoolNaNConsistency is the regression for the -Inf/-1 seeding bug:
+// on an all-NaN window Forward used to return -Inf with argmax -1 (Backward
+// then panicked on dx.Data[-1]) while ForwardBatch returned NaN. Both paths
+// now seed with the window's first element, so NaN propagates identically
+// and Backward routes the gradient to a real index.
+func TestMaxPoolNaNConsistency(t *testing.T) {
+	nan := float32(math.NaN())
+	pool := NewMaxPool2D("pool", 2)
+	for _, tc := range []struct {
+		name string
+		data []float32
+	}{
+		{"all-NaN", []float32{nan, nan, nan, nan}},
+		{"NaN-first", []float32{nan, 5, 1, 2}},
+		{"NaN-later", []float32{1, nan, 3, 2}},
+		{"finite", []float32{1, 5, 3, 2}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			x, err := tensor.FromSlice(append([]float32(nil), tc.data...), 1, 2, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			y, err := pool.Forward(x, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			xb, err := tensor.FromSlice(append([]float32(nil), tc.data...), 1, 1, 2, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			yb, err := pool.ForwardBatch(xb)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Float32bits(y.Data[0]) != math.Float32bits(yb.Data[0]) {
+				t.Fatalf("Forward %v, ForwardBatch %v", y.Data[0], yb.Data[0])
+			}
+			grad := tensor.New(1, 1, 1)
+			grad.Fill(1)
+			if _, err := pool.Backward(grad); err != nil { // used to panic on dx.Data[-1]
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestReLUNaNConsistency: Forward used to zero NaN activations (v > 0 false)
+// while ForwardBatch kept them; both must now propagate NaN.
+func TestReLUNaNConsistency(t *testing.T) {
+	nan := float32(math.NaN())
+	relu := NewReLU("relu")
+	x, err := tensor.FromSlice([]float32{nan, -1, 2}, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := relu.Forward(x, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	yb, err := relu.ForwardBatch(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(float64(y.Data[0])) {
+		t.Fatalf("Forward zeroed a NaN activation: got %v", y.Data[0])
+	}
+	for i := range y.Data {
+		if math.Float32bits(y.Data[i]) != math.Float32bits(yb.Data[i]) {
+			t.Fatalf("element %d: Forward %v, ForwardBatch %v", i, y.Data[i], yb.Data[i])
+		}
+	}
+}
+
+// TestDenseBackwardInputAliasing is the regression for the lastX aliasing
+// hazard: a caller that reuses its input buffer between Forward and Backward
+// must still get gradients computed from the values seen at Forward time.
+func TestDenseBackwardInputAliasing(t *testing.T) {
+	r := xrand.New(7)
+	d := NewDense("fc", 3, 2, r)
+	x, err := tensor.FromSlice([]float32{1, 2, 3}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Forward(x, true); err != nil {
+		t.Fatal(err)
+	}
+	x.Fill(-100) // caller reuses its buffer before Backward
+	grad, err := tensor.FromSlice([]float32{1, 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Backward(grad); err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{1, 2, 3, 1, 2, 3} // dW[o][i] = grad[o] * x_forward[i]
+	for i, v := range want {
+		if d.dW.Data[i] != v {
+			t.Fatalf("dW[%d] = %v, want %v (gradient computed from mutated buffer)", i, d.dW.Data[i], v)
+		}
+	}
+}

@@ -55,24 +55,36 @@ func sampleView(x *tensor.Tensor, i, stride int) *tensor.Tensor {
 	return &tensor.Tensor{Shape: x.Shape[1:], Data: x.Data[i*stride : (i+1)*stride]}
 }
 
-// forwardBatchLayers pushes a batch tensor through a layer stack, taking the
-// batched fast path where available and a per-sample Forward loop otherwise.
-func forwardBatchLayers(layers []Layer, x *tensor.Tensor) (*tensor.Tensor, error) {
+// forwardBatchLayers pushes a batch tensor through a layer stack. With a
+// non-nil arena it takes the zero-allocation ArenaBatchLayer path, then the
+// allocating BatchLayer path, then a per-sample Forward loop — all three are
+// bitwise identical (same per-element accumulation order everywhere).
+func forwardBatchLayers(layers []Layer, x *tensor.Tensor, ar *InferenceArena) (*tensor.Tensor, error) {
 	if len(x.Shape) < 2 {
 		return nil, fmt.Errorf("nn: batched input wants a leading batch dimension, got shape %v", x.Shape)
 	}
 	var err error
 	for _, l := range layers {
-		if bl, ok := l.(BatchLayer); ok {
-			x, err = bl.ForwardBatch(x)
-		} else {
-			x, err = forwardPerSample(l, x)
-		}
+		x, err = forwardOneBatch(l, x, ar)
 		if err != nil {
 			return nil, fmt.Errorf("nn: layer %s: %w", l.Name(), err)
 		}
 	}
 	return x, nil
+}
+
+// forwardOneBatch dispatches a single layer on the best available batched
+// path (see forwardBatchLayers).
+func forwardOneBatch(l Layer, x *tensor.Tensor, ar *InferenceArena) (*tensor.Tensor, error) {
+	if ar != nil {
+		if al, ok := l.(ArenaBatchLayer); ok {
+			return al.ForwardBatchArena(x, ar)
+		}
+	}
+	if bl, ok := l.(BatchLayer); ok {
+		return bl.ForwardBatch(x)
+	}
+	return forwardPerSample(l, x)
 }
 
 // forwardPerSample is the fallback for layers without a batched kernel: it
@@ -106,7 +118,7 @@ func forwardPerSample(l Layer, x *tensor.Tensor) (*tensor.Tensor, error) {
 // batched kernels (a single matrix multiply for dense layers) where the
 // layer supports them.
 func (n *Network) ForwardBatch(x *tensor.Tensor) (*tensor.Tensor, error) {
-	return forwardBatchLayers(n.Layers, x)
+	return forwardBatchLayers(n.Layers, x, nil)
 }
 
 // PredictBatch returns the argmax class per batch row.
@@ -115,20 +127,7 @@ func (n *Network) PredictBatch(x *tensor.Tensor) ([]int, error) {
 	if err != nil {
 		return nil, err
 	}
-	b := out.Shape[0]
-	stride := out.Len() / b
-	preds := make([]int, b)
-	for i := 0; i < b; i++ {
-		row := out.Data[i*stride : (i+1)*stride]
-		best := 0
-		for j, v := range row {
-			if v > row[best] {
-				best = j
-			}
-		}
-		preds[i] = best
-	}
-	return preds, nil
+	return argmaxRows(out, nil), nil
 }
 
 // ForwardBatch implements BatchLayer (the centering shift is elementwise and
@@ -162,46 +161,12 @@ func (d *Dense) ForwardBatch(x *tensor.Tensor) (*tensor.Tensor, error) {
 	return y, nil
 }
 
-// ForwardBatch implements BatchLayer: per-sample im2col convolutions writing
-// into one output tensor, with none of Forward's backward bookkeeping.
+// ForwardBatch implements BatchLayer by delegating to the fused batched-GEMM
+// path with a throwaway arena: the whole batch becomes one column matrix and
+// one GEMM, bitwise identical to the former per-sample im2col loop (same
+// per-element accumulation order — see tensor.Im2ColBatch and tensor.Gemm).
 func (c *Conv2D) ForwardBatch(x *tensor.Tensor) (*tensor.Tensor, error) {
-	if len(x.Shape) != 4 {
-		return nil, fmt.Errorf("conv %s: want (B,C,H,W) input, got %v", c.name, x.Shape)
-	}
-	outC, inC := c.Kernel.Shape[0], c.Kernel.Shape[1]
-	kh, kw := c.Kernel.Shape[2], c.Kernel.Shape[3]
-	if x.Shape[1] != inC {
-		return nil, fmt.Errorf("conv %s: input channels %d, want %d", c.name, x.Shape[1], inC)
-	}
-	kmat, err := c.Kernel.Reshape(outC, inC*kh*kw)
-	if err != nil {
-		return nil, err
-	}
-	b := x.Shape[0]
-	oh, ow := tensor.Conv2DShape(x.Shape[2], x.Shape[3], kh, kw, c.Stride, c.Pad)
-	spatial := oh * ow
-	out := tensor.New(b, outC, oh, ow)
-	stride := x.Len() / b
-	for i := 0; i < b; i++ {
-		cols, err := tensor.Im2Col(sampleView(x, i, stride), kh, kw, c.Stride, c.Pad)
-		if err != nil {
-			return nil, fmt.Errorf("conv %s: %w", c.name, err)
-		}
-		y, err := tensor.MatMul(kmat, cols)
-		if err != nil {
-			return nil, fmt.Errorf("conv %s: %w", c.name, err)
-		}
-		dst := out.Data[i*outC*spatial : (i+1)*outC*spatial]
-		for o := 0; o < outC; o++ {
-			bias := c.Bias.Data[o]
-			src := y.Data[o*spatial : (o+1)*spatial]
-			row := dst[o*spatial : (o+1)*spatial]
-			for j, v := range src {
-				row[j] = v + bias
-			}
-		}
-	}
-	return out, nil
+	return c.ForwardBatchArena(x, NewInferenceArena())
 }
 
 // ForwardBatch implements BatchLayer (elementwise, no mask bookkeeping).
@@ -288,13 +253,13 @@ func (l *Dropout) ForwardBatch(x *tensor.Tensor) (*tensor.Tensor, error) {
 // ForwardBatch implements BatchLayer by running body and projection through
 // the same batched dispatch as Network.ForwardBatch.
 func (l *Residual) ForwardBatch(x *tensor.Tensor) (*tensor.Tensor, error) {
-	y, err := forwardBatchLayers(l.Body, x)
+	y, err := forwardBatchLayers(l.Body, x, nil)
 	if err != nil {
 		return nil, fmt.Errorf("residual %s body: %w", l.name, err)
 	}
 	skip := x
 	if l.Proj != nil {
-		skip, err = forwardBatchLayers([]Layer{l.Proj}, x)
+		skip, err = forwardOneBatch(l.Proj, x, nil)
 		if err != nil {
 			return nil, fmt.Errorf("residual %s proj: %w", l.name, err)
 		}

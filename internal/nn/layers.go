@@ -86,7 +86,9 @@ func (d *Dense) Forward(x *tensor.Tensor, _ bool) (*tensor.Tensor, error) {
 	if x.Len() != in {
 		return nil, fmt.Errorf("dense %s: input size %d, want %d", d.name, x.Len(), in)
 	}
-	d.lastX = x
+	// Clone: retaining the caller's tensor by reference would corrupt the
+	// weight gradient if the caller reuses its input buffer before Backward.
+	d.lastX = x.Clone()
 	y := tensor.New(out)
 	for o := 0; o < out; o++ {
 		row := d.W.Data[o*in : (o+1)*in]
@@ -137,6 +139,7 @@ type Conv2D struct {
 
 	lastCols  *tensor.Tensor
 	lastShape []int
+	kmat      *tensor.Tensor
 }
 
 // NewConv2D returns a convolution layer with He-normal initialised kernels.
@@ -157,6 +160,20 @@ func NewConv2D(name string, inC, outC, k, stride, pad int, r *xrand.Rand) *Conv2
 
 func (c *Conv2D) Name() string { return c.name }
 
+// kernelMatrix returns the (outC, inC·KH·KW) matrix view of the kernel,
+// cached so the hot paths never allocate a header. The view aliases
+// Kernel.Data, which every mutation path (training, fault injection,
+// RestoreWeights) updates in place rather than replacing — so the cache can
+// never go stale.
+func (c *Conv2D) kernelMatrix() *tensor.Tensor {
+	if c.kmat == nil {
+		outC, inC := c.Kernel.Shape[0], c.Kernel.Shape[1]
+		kh, kw := c.Kernel.Shape[2], c.Kernel.Shape[3]
+		c.kmat = &tensor.Tensor{Shape: []int{outC, inC * kh * kw}, Data: c.Kernel.Data}
+	}
+	return c.kmat
+}
+
 func (c *Conv2D) Forward(x *tensor.Tensor, _ bool) (*tensor.Tensor, error) {
 	if len(x.Shape) != 3 {
 		return nil, fmt.Errorf("conv %s: want (C,H,W) input, got %v", c.name, x.Shape)
@@ -172,11 +189,7 @@ func (c *Conv2D) Forward(x *tensor.Tensor, _ bool) (*tensor.Tensor, error) {
 	}
 	c.lastCols = cols
 	c.lastShape = x.Shape
-	kmat, err := c.Kernel.Reshape(outC, inC*kh*kw)
-	if err != nil {
-		return nil, err
-	}
-	y, err := tensor.MatMul(kmat, cols)
+	y, err := tensor.MatMul(c.kernelMatrix(), cols)
 	if err != nil {
 		return nil, fmt.Errorf("conv %s: %w", c.name, err)
 	}
@@ -220,11 +233,7 @@ func (c *Conv2D) Backward(grad *tensor.Tensor) (*tensor.Tensor, error) {
 		return nil, err
 	}
 	// Input gradient: kernelᵀ · grad, scattered back with Col2Im.
-	kmat, err := c.Kernel.Reshape(outC, inC*kh*kw)
-	if err != nil {
-		return nil, err
-	}
-	dcols, err := tensor.MatMulTransA(kmat, gmat)
+	dcols, err := tensor.MatMulTransA(c.kernelMatrix(), gmat)
 	if err != nil {
 		return nil, err
 	}
@@ -251,11 +260,11 @@ func (l *ReLU) Forward(x *tensor.Tensor, _ bool) (*tensor.Tensor, error) {
 		l.mask = make([]bool, y.Len())
 	}
 	l.mask = l.mask[:y.Len()]
+	// NaN propagates (v <= 0 is false for NaN), matching ForwardBatch —
+	// zeroing it would hide fault-injected corruption from the voter.
 	for i, v := range y.Data {
-		if v > 0 {
-			l.mask[i] = true
-		} else {
-			l.mask[i] = false
+		l.mask[i] = v > 0
+		if v <= 0 {
 			y.Data[i] = 0
 		}
 	}
@@ -316,8 +325,11 @@ func (l *MaxPool2D) Forward(x *tensor.Tensor, _ bool) (*tensor.Tensor, error) {
 		base := ch * h * w
 		for oy := 0; oy < oh; oy++ {
 			for ox := 0; ox < ow; ox++ {
-				best := float32(math.Inf(-1))
-				bi := -1
+				// Seed with the window's first element, like ForwardBatch:
+				// a -Inf/-1 seed never updates on an all-NaN window (every
+				// compare is false) and Backward then indexes dx.Data[-1].
+				start := base + (oy*s)*w + ox*s
+				best, bi := x.Data[start], start
 				for dy := 0; dy < s; dy++ {
 					rowBase := base + (oy*s+dy)*w + ox*s
 					for dx := 0; dx < s; dx++ {

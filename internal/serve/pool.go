@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"mvml/internal/core"
+	"mvml/internal/nn"
 	"mvml/internal/obs"
 	"mvml/internal/tensor"
 )
@@ -56,9 +57,10 @@ type pool struct {
 	name  string
 	m     *metrics
 
-	jobs    chan batchJob
-	workers []*core.NNVersion
-	wg      sync.WaitGroup
+	jobs        chan batchJob
+	workers     []*core.NNVersion
+	gemmWorkers int
+	wg          sync.WaitGroup
 
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -82,6 +84,7 @@ func newPool(index int, name string, cfg Config, m *metrics) *pool {
 		name:          name,
 		m:             m,
 		jobs:          make(chan batchJob, cfg.WorkersPerVersion),
+		gemmWorkers:   cfg.GemmWorkers,
 		window:        make([]bool, cfg.DivergenceWindow),
 		threshold:     cfg.DivergenceThreshold,
 		divergedTotal: m.divergence(name),
@@ -104,11 +107,16 @@ func (p *pool) start() {
 }
 
 // run is a worker loop: each job is a full-batch inference on this worker's
-// private replica.
+// private replica, through the fused-GEMM arena path. The arena is owned by
+// this goroutine (like the replica itself), so buffers are reused across
+// jobs without synchronisation; the prediction slice crosses the channel to
+// the voter and therefore must be freshly allocated per job (preds = nil).
 func (p *pool) run(v *core.NNVersion) {
 	defer p.wg.Done()
+	ar := nn.NewInferenceArena()
+	ar.GemmWorkers = p.gemmWorkers
 	for job := range p.jobs {
-		preds, err := v.Network().PredictBatch(job.batch)
+		preds, err := v.Network().PredictBatchArena(job.batch, ar, nil)
 		job.out <- versionAnswer{version: p.index, preds: preds, err: err}
 		p.finishJob()
 	}

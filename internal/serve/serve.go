@@ -83,6 +83,11 @@ type Config struct {
 	// weights one compromise event perturbs.
 	InjectLayer int
 	InjectCount int
+	// GemmWorkers fans the fused convolution GEMMs of each inference worker
+	// out over row tiles (see tensor.GemmParallel); results are bitwise
+	// identical for every value. <= 1 keeps each worker single-threaded,
+	// which is usually right when WorkersPerVersion already saturates cores.
+	GemmWorkers int
 	// NewNetwork overrides how a version's network is built (tests use
 	// small identical networks). nil selects the three small classifier
 	// architectures from internal/nn in round-robin order.
@@ -134,6 +139,9 @@ func (c Config) Validate() error {
 	}
 	if c.InjectCount < 1 {
 		return fmt.Errorf("serve: inject count %d", c.InjectCount)
+	}
+	if c.GemmWorkers < 0 {
+		return fmt.Errorf("serve: gemm workers %d", c.GemmWorkers)
 	}
 	if c.DivergenceWindow < 1 {
 		return fmt.Errorf("serve: divergence window %d", c.DivergenceWindow)

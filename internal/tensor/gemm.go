@@ -1,0 +1,217 @@
+// Fused batched-GEMM kernels: blocked matrix multiplication writing into
+// caller-provided output tensors, plus the batched im2col transform that lets
+// a convolution layer process a whole (B, C, H, W) batch with a single GEMM.
+//
+// Determinism contract: every output element is a sum over the inner
+// dimension accumulated in strictly ascending index order, exactly like the
+// allocating MatMul* kernels. Blocking only changes the order in which
+// *elements* are visited, never the order in which one element's partial
+// products are added, so Gemm results are bitwise identical to MatMul results
+// and GemmParallel results are bitwise identical for every worker count (row
+// tiles write disjoint output rows; no reduction crosses a tile boundary).
+// IEEE special values (NaN, ±Inf) therefore propagate identically on every
+// path — there is no zero-skip shortcut that could mask 0·Inf = NaN.
+package tensor
+
+import (
+	"fmt"
+
+	"mvml/internal/parallel"
+	"mvml/internal/xrand"
+)
+
+const (
+	// gemmRowTile is the height of one parallel row tile and the row block
+	// of the sequential kernel. Tiles own disjoint rows of C, so the fan-out
+	// needs no reduction and is worker-count-invariant by construction.
+	gemmRowTile = 64
+	// gemmKBlock bounds the inner-dimension block so the B-panel streamed by
+	// the inner loop stays cache-resident across a row block.
+	gemmKBlock = 256
+)
+
+// checkGemm validates one C = op(A)·op(B) call, returning the logical GEMM
+// dimensions (m, n) after transposition. aInner and bInner are the Shape
+// indices of the operand dimensions that must agree; aOuter and bOuter index
+// the output dimensions.
+func checkGemm(op string, c, a, b *Tensor, aOuter, aInner, bInner, bOuter int) (m, n int, err error) {
+	if len(a.Shape) != 2 || len(b.Shape) != 2 {
+		return 0, 0, fmt.Errorf("tensor: %s requires 2-D operands, got %v and %v", op, a.Shape, b.Shape)
+	}
+	if a.Shape[aInner] != b.Shape[bInner] {
+		return 0, 0, fmt.Errorf("tensor: %s inner dimensions %d and %d differ",
+			op, a.Shape[aInner], b.Shape[bInner])
+	}
+	m, n = a.Shape[aOuter], b.Shape[bOuter]
+	if len(c.Shape) != 2 || c.Shape[0] != m || c.Shape[1] != n {
+		return 0, 0, fmt.Errorf("tensor: %s output shape %v, want (%d, %d)", op, c.Shape, m, n)
+	}
+	return m, n, nil
+}
+
+// Gemm computes C = A·B for A (m×k) and B (k×n) into the caller-provided
+// C (m×n), overwriting its previous contents. It is the reuse-friendly,
+// bitwise-identical counterpart of MatMul.
+func Gemm(c, a, b *Tensor) error {
+	return GemmParallel(c, a, b, 1)
+}
+
+// GemmParallel is Gemm with optional row-tile parallelism: rows of C are
+// split into gemmRowTile-high tiles fanned out over the deterministic
+// parallel runner. workers <= 1 (or a matrix too small to tile) runs
+// sequentially. The result is bitwise identical for every worker count.
+func GemmParallel(c, a, b *Tensor, workers int) error {
+	m, _, err := checkGemm("Gemm", c, a, b, 0, 1, 0, 1)
+	if err != nil {
+		return err
+	}
+	tiles := (m + gemmRowTile - 1) / gemmRowTile
+	if workers <= 1 || tiles < 2 {
+		gemmRows(c, a, b, 0, m)
+		return nil
+	}
+	// The runner wants an RNG root; the tile body is deterministic and never
+	// draws from it, so a fixed seed keeps the call site pure.
+	_, err = parallel.Run(xrand.New(0), "gemm", tiles, parallel.Options{Workers: workers},
+		func(tile int, _ *xrand.Rand) (struct{}, error) {
+			i0 := tile * gemmRowTile
+			i1 := i0 + gemmRowTile
+			if i1 > m {
+				i1 = m
+			}
+			gemmRows(c, a, b, i0, i1)
+			return struct{}{}, nil
+		})
+	return err
+}
+
+// gemmRows computes rows [i0, i1) of C = A·B with ikj ordering blocked over
+// the inner dimension. Each output element accumulates its k products in
+// ascending k order, matching MatMul bit for bit.
+func gemmRows(c, a, b *Tensor, i0, i1 int) {
+	k, n := a.Shape[1], b.Shape[1]
+	for i := i0; i < i1; i++ {
+		crow := c.Data[i*n : (i+1)*n]
+		for j := range crow {
+			crow[j] = 0
+		}
+	}
+	for k0 := 0; k0 < k; k0 += gemmKBlock {
+		k1 := k0 + gemmKBlock
+		if k1 > k {
+			k1 = k
+		}
+		for i := i0; i < i1; i++ {
+			arow := a.Data[i*k : (i+1)*k]
+			crow := c.Data[i*n : (i+1)*n]
+			for kk := k0; kk < k1; kk++ {
+				av := arow[kk]
+				brow := b.Data[kk*n : (kk+1)*n]
+				for j, bv := range brow {
+					crow[j] += av * bv
+				}
+			}
+		}
+	}
+}
+
+// GemmTransA computes C = Aᵀ·B for A (k×m) and B (k×n) into the
+// caller-provided C (m×n), bitwise identical to MatMulTransA.
+func GemmTransA(c, a, b *Tensor) error {
+	m, n, err := checkGemm("GemmTransA", c, a, b, 1, 0, 0, 1)
+	if err != nil {
+		return err
+	}
+	k := a.Shape[0]
+	for i := range c.Data {
+		c.Data[i] = 0
+	}
+	for kk := 0; kk < k; kk++ {
+		arow := a.Data[kk*m : (kk+1)*m]
+		brow := b.Data[kk*n : (kk+1)*n]
+		for i, av := range arow {
+			crow := c.Data[i*n : (i+1)*n]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+	return nil
+}
+
+// GemmTransB computes C = A·Bᵀ for A (m×k) and B (n×k) into the
+// caller-provided C (m×n), bitwise identical to MatMulTransB.
+func GemmTransB(c, a, b *Tensor) error {
+	m, n, err := checkGemm("GemmTransB", c, a, b, 0, 1, 1, 0)
+	if err != nil {
+		return err
+	}
+	k := a.Shape[1]
+	for i := 0; i < m; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		crow := c.Data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			brow := b.Data[j*k : (j+1)*k]
+			var sum float32
+			for kk, av := range arow {
+				sum += av * brow[kk]
+			}
+			crow[j] = sum
+		}
+	}
+	return nil
+}
+
+// Im2ColBatch unrolls a (B, C, H, W) batch into the caller-provided column
+// matrix of shape (C*kh*kw, B*oh*ow): columns [b*oh*ow, (b+1)*oh*ow) hold
+// exactly Im2Col(sample b), so one Gemm against the reshaped kernel computes
+// the convolution of the whole batch. Padding positions are written as
+// explicit zeros, so out may be a reused (dirty) buffer.
+func Im2ColBatch(in *Tensor, kh, kw, stride, pad int, out *Tensor) error {
+	if len(in.Shape) != 4 {
+		return fmt.Errorf("tensor: Im2ColBatch requires (B,C,H,W) input, got %v", in.Shape)
+	}
+	bsz, c, h, w := in.Shape[0], in.Shape[1], in.Shape[2], in.Shape[3]
+	oh, ow := Conv2DShape(h, w, kh, kw, stride, pad)
+	if oh <= 0 || ow <= 0 {
+		return fmt.Errorf("tensor: Im2ColBatch output is empty for input %v kernel %dx%d stride %d pad %d",
+			in.Shape, kh, kw, stride, pad)
+	}
+	cols := bsz * oh * ow
+	if len(out.Shape) != 2 || out.Shape[0] != c*kh*kw || out.Shape[1] != cols {
+		return fmt.Errorf("tensor: Im2ColBatch output shape %v, want (%d, %d)", out.Shape, c*kh*kw, cols)
+	}
+	for ch := 0; ch < c; ch++ {
+		for ky := 0; ky < kh; ky++ {
+			for kx := 0; kx < kw; kx++ {
+				row := (ch*kh+ky)*kw + kx
+				dst := out.Data[row*cols : (row+1)*cols]
+				di := 0
+				for b := 0; b < bsz; b++ {
+					chBase := (b*c + ch) * h * w
+					for oy := 0; oy < oh; oy++ {
+						iy := oy*stride + ky - pad
+						if iy < 0 || iy >= h {
+							for ox := 0; ox < ow; ox++ {
+								dst[di] = 0
+								di++
+							}
+							continue
+						}
+						rowBase := chBase + iy*w
+						for ox := 0; ox < ow; ox++ {
+							ix := ox*stride + kx - pad
+							if ix >= 0 && ix < w {
+								dst[di] = in.Data[rowBase+ix]
+							} else {
+								dst[di] = 0
+							}
+							di++
+						}
+					}
+				}
+			}
+		}
+	}
+	return nil
+}

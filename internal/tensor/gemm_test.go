@@ -1,0 +1,232 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+
+	"mvml/internal/xrand"
+)
+
+// bitsEqual compares two float32 slices bit for bit, so NaN payloads and
+// signed zeros count.
+func bitsEqual(t *testing.T, what string, got, want []float32) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d, want %d", what, len(got), len(want))
+	}
+	for i := range want {
+		if math.Float32bits(got[i]) != math.Float32bits(want[i]) {
+			t.Fatalf("%s: element %d = %v (bits %#x), want %v (bits %#x)",
+				what, i, got[i], math.Float32bits(got[i]), want[i], math.Float32bits(want[i]))
+		}
+	}
+}
+
+func randomMat(r *xrand.Rand, m, n int) *Tensor {
+	t := New(m, n)
+	t.RandomizeUniform(r, -2, 2)
+	return t
+}
+
+// TestGemmBitwiseMatchesMatMul: the blocked in-place kernel must reproduce
+// the allocating kernel bit for bit, including at sizes that exercise
+// partial row and inner-dimension blocks.
+func TestGemmBitwiseMatchesMatMul(t *testing.T) {
+	r := xrand.New(1)
+	for _, dims := range [][3]int{
+		{1, 1, 1}, {3, 5, 4}, {16, 300, 7}, {130, 257, 9}, {65, 64, 33},
+	} {
+		m, k, n := dims[0], dims[1], dims[2]
+		a, b := randomMat(r, m, k), randomMat(r, k, n)
+		want, err := MatMul(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := New(m, n)
+		c.Fill(42) // dirty buffer: Gemm must overwrite, not accumulate
+		if err := Gemm(c, a, b); err != nil {
+			t.Fatal(err)
+		}
+		bitsEqual(t, "Gemm", c.Data, want.Data)
+	}
+}
+
+func TestGemmTransABitwiseMatchesMatMulTransA(t *testing.T) {
+	r := xrand.New(2)
+	a, b := randomMat(r, 9, 6), randomMat(r, 9, 5)
+	want, err := MatMulTransA(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(6, 5)
+	c.Fill(-1)
+	if err := GemmTransA(c, a, b); err != nil {
+		t.Fatal(err)
+	}
+	bitsEqual(t, "GemmTransA", c.Data, want.Data)
+}
+
+func TestGemmTransBBitwiseMatchesMatMulTransB(t *testing.T) {
+	r := xrand.New(3)
+	a, b := randomMat(r, 7, 6), randomMat(r, 4, 6)
+	want, err := MatMulTransB(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(7, 4)
+	c.Fill(-1)
+	if err := GemmTransB(c, a, b); err != nil {
+		t.Fatal(err)
+	}
+	bitsEqual(t, "GemmTransB", c.Data, want.Data)
+}
+
+// TestGemmParallelWorkerInvariance: the row-tiled fan-out must be bitwise
+// identical to the sequential kernel for every worker count — the contract
+// that makes the parallel path safe in the differential-voting ensemble.
+func TestGemmParallelWorkerInvariance(t *testing.T) {
+	r := xrand.New(4)
+	m, k, n := 3*gemmRowTile+17, 129, 31
+	a, b := randomMat(r, m, k), randomMat(r, k, n)
+	want := New(m, n)
+	if err := Gemm(want, a, b); err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3, 4, 8} {
+		c := New(m, n)
+		c.Fill(7)
+		if err := GemmParallel(c, a, b, workers); err != nil {
+			t.Fatal(err)
+		}
+		bitsEqual(t, "GemmParallel", c.Data, want.Data)
+	}
+}
+
+func TestGemmShapeErrors(t *testing.T) {
+	a, b := New(2, 3), New(3, 4)
+	if err := Gemm(New(2, 4), New(6), b); err == nil {
+		t.Fatal("expected rank error")
+	}
+	if err := Gemm(New(2, 4), a, New(2, 4)); err == nil {
+		t.Fatal("expected inner-dimension error")
+	}
+	if err := Gemm(New(3, 4), a, b); err == nil {
+		t.Fatal("expected output-shape error")
+	}
+	if err := GemmTransA(New(2, 4), a, b); err == nil {
+		t.Fatal("expected GemmTransA inner-dimension error")
+	}
+	if err := GemmTransB(New(2, 3), a, New(4, 2)); err == nil {
+		t.Fatal("expected GemmTransB inner-dimension error")
+	}
+}
+
+// TestMatMulNaNInfPropagation is the regression for the removed zero-skip
+// shortcut: a fault-injected Inf weight multiplied by an im2col padding zero
+// must poison the output with NaN instead of being silently dropped.
+func TestMatMulNaNInfPropagation(t *testing.T) {
+	inf := float32(math.Inf(1))
+	a, _ := FromSlice([]float32{0, 1}, 1, 2)   // leading zero meets Inf
+	b, _ := FromSlice([]float32{inf, 2}, 2, 1) // 0·Inf + 1·2
+	c, err := MatMul(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(float64(c.Data[0])) {
+		t.Fatalf("MatMul suppressed 0*Inf: got %v, want NaN", c.Data[0])
+	}
+
+	at, _ := FromSlice([]float32{0, 1}, 2, 1) // transpose of a
+	ct, err := MatMulTransA(at, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(float64(ct.Data[0])) {
+		t.Fatalf("MatMulTransA suppressed 0*Inf: got %v, want NaN", ct.Data[0])
+	}
+
+	// The in-place kernels must agree bit for bit, NaN payloads included.
+	g := New(1, 1)
+	if err := Gemm(g, a, b); err != nil {
+		t.Fatal(err)
+	}
+	bitsEqual(t, "Gemm NaN", g.Data, c.Data)
+	gt := New(1, 1)
+	if err := GemmTransA(gt, at, b); err != nil {
+		t.Fatal(err)
+	}
+	bitsEqual(t, "GemmTransA NaN", gt.Data, ct.Data)
+}
+
+// TestIm2ColBatchMatchesPerSample: column block b of the batched unroll must
+// equal Im2Col of sample b exactly, even when the output buffer is dirty
+// (padding zeros are written, not assumed).
+func TestIm2ColBatchMatchesPerSample(t *testing.T) {
+	r := xrand.New(5)
+	const bsz, c, h, w = 3, 2, 7, 7
+	in := New(bsz, c, h, w)
+	in.RandomizeUniform(r, -1, 1)
+	for _, cfg := range []struct{ kh, kw, stride, pad int }{
+		{3, 3, 1, 1}, {3, 3, 2, 1}, {5, 5, 1, 0}, {1, 1, 1, 0},
+	} {
+		oh, ow := Conv2DShape(h, w, cfg.kh, cfg.kw, cfg.stride, cfg.pad)
+		out := New(c*cfg.kh*cfg.kw, bsz*oh*ow)
+		out.Fill(99) // dirty buffer
+		if err := Im2ColBatch(in, cfg.kh, cfg.kw, cfg.stride, cfg.pad, out); err != nil {
+			t.Fatal(err)
+		}
+		stride := c * h * w
+		for b := 0; b < bsz; b++ {
+			sample := &Tensor{Shape: []int{c, h, w}, Data: in.Data[b*stride : (b+1)*stride]}
+			want, err := Im2Col(sample, cfg.kh, cfg.kw, cfg.stride, cfg.pad)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for row := 0; row < want.Shape[0]; row++ {
+				got := out.Data[row*bsz*oh*ow+b*oh*ow : row*bsz*oh*ow+(b+1)*oh*ow]
+				bitsEqual(t, "Im2ColBatch", got, want.Data[row*oh*ow:(row+1)*oh*ow])
+			}
+		}
+	}
+}
+
+func TestIm2ColBatchErrors(t *testing.T) {
+	if err := Im2ColBatch(New(2, 3, 4), 3, 3, 1, 0, New(1, 1)); err == nil {
+		t.Fatal("expected rank error")
+	}
+	if err := Im2ColBatch(New(1, 1, 2, 2), 5, 5, 1, 0, New(1, 1)); err == nil {
+		t.Fatal("expected empty-output error")
+	}
+	if err := Im2ColBatch(New(1, 1, 4, 4), 3, 3, 1, 0, New(9, 5)); err == nil {
+		t.Fatal("expected output-shape error")
+	}
+}
+
+// TestReshapeRejectsNonPositiveDims: two negative dimensions whose product
+// matches the element count must not pass the count-only check.
+func TestReshapeRejectsNonPositiveDims(t *testing.T) {
+	a := New(2, 3)
+	if _, err := a.Reshape(-2, -3); err == nil {
+		t.Fatal("Reshape(-2, -3) accepted negative dimensions")
+	}
+	if _, err := a.Reshape(6, 0); err == nil {
+		t.Fatal("Reshape(6, 0) accepted a zero dimension")
+	}
+	if _, err := a.Reshape(6); err != nil {
+		t.Fatalf("valid reshape rejected: %v", err)
+	}
+}
+
+func BenchmarkGemm64(b *testing.B) {
+	r := xrand.New(1)
+	a := randomMat(r, 64, 64)
+	m := randomMat(r, 64, 64)
+	c := New(64, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := Gemm(c, a, m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

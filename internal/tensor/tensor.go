@@ -57,10 +57,15 @@ func (t *Tensor) Clone() *Tensor {
 }
 
 // Reshape returns a view with a new shape sharing the same backing data.
-// It returns an error if the element counts differ.
+// It returns an error if the element counts differ or any dimension is
+// non-positive (two negative dimensions can otherwise sneak past a
+// count-only check and panic downstream).
 func (t *Tensor) Reshape(shape ...int) (*Tensor, error) {
 	n := 1
 	for _, d := range shape {
+		if d <= 0 {
+			return nil, fmt.Errorf("tensor: non-positive dimension in shape %v", shape)
+		}
 		n *= d
 	}
 	if n != len(t.Data) {
@@ -163,14 +168,13 @@ func MatMul(a, b *Tensor) (*Tensor, error) {
 	}
 	c := New(m, n)
 	// ikj loop order: streams through B and C rows for cache friendliness.
+	// Every product is accumulated — a zero-skip shortcut here would suppress
+	// IEEE 0·Inf = NaN and hide fault-injected corruption from the voter.
 	for i := 0; i < m; i++ {
 		arow := a.Data[i*k : (i+1)*k]
 		crow := c.Data[i*n : (i+1)*n]
 		for kk := 0; kk < k; kk++ {
 			av := arow[kk]
-			if av == 0 {
-				continue
-			}
 			brow := b.Data[kk*n : (kk+1)*n]
 			for j, bv := range brow {
 				crow[j] += av * bv
@@ -196,9 +200,6 @@ func MatMulTransA(a, b *Tensor) (*Tensor, error) {
 		arow := a.Data[kk*m : (kk+1)*m]
 		brow := b.Data[kk*n : (kk+1)*n]
 		for i, av := range arow {
-			if av == 0 {
-				continue
-			}
 			crow := c.Data[i*n : (i+1)*n]
 			for j, bv := range brow {
 				crow[j] += av * bv

@@ -5,7 +5,7 @@ set -eu
 cd "$(dirname "$0")"
 
 echo "==> gofmt"
-unformatted=$(gofmt -l cmd internal examples bench_test.go bench_parallel_test.go)
+unformatted=$(gofmt -l cmd internal examples bench_test.go bench_parallel_test.go bench_gemm_test.go)
 if [ -n "$unformatted" ]; then
     echo "gofmt needed on:" >&2
     echo "$unformatted" >&2
@@ -41,5 +41,6 @@ go test ./internal/core -run '^$' -fuzz '^FuzzVoter$' -fuzztime 5s
 go test ./internal/core -run '^$' -fuzz '^FuzzMedianVoter$' -fuzztime 5s
 go test ./internal/obs -run '^$' -fuzz '^FuzzHistogramQuantile$' -fuzztime 5s
 go test ./internal/xrand -run '^$' -fuzz '^FuzzXrandSplit$' -fuzztime 5s
+go test ./internal/nn -run '^$' -fuzz '^FuzzForwardBatchArena$' -fuzztime 5s
 
 echo "OK"
