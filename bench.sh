@@ -11,12 +11,18 @@
 # with the number of CPUs actually available: on a single-core machine every
 # width runs at ~1.0x.
 #
-# Usage: ./bench.sh [parallel-output.json] [gemm-output.json]
+# Finally it measures the observability layer's serving overhead (the same
+# sequential Classify loop with telemetry off vs the full stack of metrics,
+# spans, per-layer profiler and flight recorder) and emits BENCH_obs.json;
+# the acceptance bar is <5% end-to-end overhead.
+#
+# Usage: ./bench.sh [parallel-output.json] [gemm-output.json] [obs-output.json]
 set -eu
 cd "$(dirname "$0")"
 
 out=${1:-BENCH_parallel.json}
 out2=${2:-BENCH_gemm.json}
+out3=${3:-BENCH_obs.json}
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
 
@@ -90,3 +96,25 @@ END {
 
 echo "==> wrote $out2"
 cat "$out2"
+
+echo "==> go test -bench BenchmarkServeObs (span/profiler overhead, telemetry off vs on)"
+go test -run '^$' -bench '^BenchmarkServeObs' -benchtime 300x -count 5 . | tee "$raw"
+
+# BenchmarkServeObs/telemetry=off-8   300   767125 ns/op
+# Interleaved repeats; keep the per-config minimum so scheduler noise on a
+# loaded machine does not masquerade as telemetry overhead.
+awk -v ncpu="$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)" '
+/^BenchmarkServeObs\// {
+    split($1, parts, "/")
+    split(parts[2], tp, /[=-]/)
+    if (!(tp[2] in ns) || $3 < ns[tp[2]]) ns[tp[2]] = $3
+}
+END {
+    off = ns["off"]; on = ns["on"]
+    pct = off > 0 ? (on - off) * 100.0 / off : 0
+    printf "{\n  \"cpus\": %d,\n  \"telemetry_off_ns_per_op\": %d,\n  \"telemetry_on_ns_per_op\": %d,\n  \"overhead_pct\": %.2f,\n  \"acceptance_pct\": 5.0,\n  \"pass\": %s\n}\n", \
+        ncpu, off, on, pct, (pct < 5.0 ? "true" : "false")
+}' "$raw" > "$out3"
+
+echo "==> wrote $out3"
+cat "$out3"

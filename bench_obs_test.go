@@ -1,0 +1,81 @@
+// Benchmarks for the observability layer's serving overhead: the same
+// sequential Classify loop against one server with telemetry fully disabled
+// and one with the complete stack attached (metrics, events, spans, per-layer
+// profiler and a flight recorder). Run with
+//
+//	go test -run '^$' -bench '^BenchmarkServeObs' .
+//
+// or via `./bench.sh`, which parses the output into BENCH_obs.json and
+// reports the relative overhead. The acceptance bar is <5% on the end-to-end
+// request path.
+package mvml_test
+
+import (
+	"testing"
+	"time"
+
+	"mvml/internal/nn"
+	"mvml/internal/obs"
+	"mvml/internal/serve"
+	"mvml/internal/signs"
+	"mvml/internal/xrand"
+)
+
+// obsBenchConfig serves the deterministic untrained lenet ensemble with one
+// worker per version and no micro-batching, so the measured path is exactly
+// admission → queue → forward ×3 → vote → reply per request.
+func obsBenchConfig() serve.Config {
+	cfg := serve.DefaultConfig()
+	cfg.NewNetwork = func(version int, r *xrand.Rand) (*nn.Network, error) {
+		return nn.NewModel(nn.ModelLeNet, signs.NumClasses, r)
+	}
+	cfg.WorkersPerVersion = 1
+	cfg.MaxBatch = 1
+	cfg.MaxBatchWait = 50 * time.Microsecond
+	cfg.RequestTimeout = 5 * time.Second
+	return cfg
+}
+
+func benchServe(b *testing.B, s *serve.Server) {
+	b.Helper()
+	img := signs.Render(0, xrand.New(3), signs.DefaultConfig())
+	if _, err := s.Classify(img); err != nil { // warm the arenas
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Classify(img); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkServeObs(b *testing.B) {
+	b.Run("telemetry=off", func(b *testing.B) {
+		s, err := serve.New(obsBenchConfig(), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer s.Close()
+		benchServe(b, s)
+	})
+	b.Run("telemetry=on", func(b *testing.B) {
+		rt := obs.NewRuntime(4096)
+		fr, err := obs.NewFlightRecorder(b.TempDir(), 0, 0, rt.Spans(), rt.Tracer())
+		if err != nil {
+			b.Fatal(err)
+		}
+		rt.AttachFlightRecorder(fr)
+		cfg := obsBenchConfig()
+		cfg.ProfileLayers = true
+		s, err := serve.New(cfg, rt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer s.Close()
+		benchServe(b, s)
+		if rt.Spans().Published() == 0 {
+			b.Fatal("instrumented benchmark produced no spans")
+		}
+	})
+}

@@ -37,6 +37,7 @@ func main() {
 	tele.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
+	tele.InfoLabel("workers", fmt.Sprintf("%d", *workers))
 	rt, err := tele.Start()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "drivesim:", err)

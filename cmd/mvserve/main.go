@@ -77,6 +77,7 @@ func serveFlags(fs *flag.FlagSet) func() serve.Config {
 	perClass := fs.Int("train-per-class", def.Dataset.TrainPerClass, "training images per class (with -train-epochs)")
 	injects := fs.Int("inject-count", def.InjectCount, "weights perturbed per compromise event")
 	gemmWorkers := fs.Int("gemm-workers", def.GemmWorkers, "row-tile fan-out of each worker's fused conv GEMMs (<=1 sequential)")
+	profileLayers := fs.Bool("profile-layers", false, "time every layer dispatch and count GEMM volumes into the metrics registry")
 	proactive := fs.Duration("proactive", 0, "proactive rejuvenation interval (0 = disabled)")
 	window := fs.Int("divergence-window", def.DivergenceWindow, "reactive-trigger observation window")
 	threshold := fs.Float64("divergence-threshold", def.DivergenceThreshold, "reactive-trigger disagreement fraction")
@@ -93,6 +94,7 @@ func serveFlags(fs *flag.FlagSet) func() serve.Config {
 		cfg.Dataset.TrainPerClass = *perClass
 		cfg.InjectCount = *injects
 		cfg.GemmWorkers = *gemmWorkers
+		cfg.ProfileLayers = *profileLayers
 		cfg.ProactiveInterval = *proactive
 		cfg.DivergenceWindow = *window
 		cfg.DivergenceThreshold = *threshold
@@ -109,6 +111,8 @@ func cmdServe(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	cfg := loadCfg()
+	tele.InfoLabel("workers", fmt.Sprintf("%dx%d", cfg.Versions, cfg.WorkersPerVersion))
 	rt, err := tele.Start()
 	if err != nil {
 		return err
@@ -119,7 +123,7 @@ func cmdServe(args []string) error {
 		}
 	}()
 
-	s, err := serve.New(loadCfg(), rt)
+	s, err := serve.New(cfg, rt)
 	if err != nil {
 		return err
 	}
@@ -193,12 +197,13 @@ func cmdDemo(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	cfg := loadCfg()
+	tele.InfoLabel("workers", fmt.Sprintf("%dx%d", cfg.Versions, cfg.WorkersPerVersion))
 	rt, err := tele.Start()
 	if err != nil {
 		return err
 	}
 
-	cfg := loadCfg()
 	// The demo leans on the reactive trigger: make it responsive enough to
 	// fire within the run unless the operator tuned it explicitly.
 	s, err := serve.New(cfg, rt)

@@ -1,0 +1,251 @@
+// Command mvtrace analyses span traces exported by the instrumented binaries
+// (the -spans-out JSONL stream): per-stage latency quantiles across every
+// trace, and a text waterfall reconstructing one request's path through
+// admission → queue → batch → per-version forwards → vote → reply.
+//
+// Usage:
+//
+//	mvtrace summary   -in spans.jsonl            # p50/p95/p99 per span kind
+//	mvtrace waterfall -in spans.jsonl            # richest trace, as a tree
+//	mvtrace waterfall -in spans.jsonl -trace 42  # a specific trace id
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"mvml/internal/obs"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "summary":
+		err = cmdSummary(os.Args[2:])
+	case "waterfall":
+		err = cmdWaterfall(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+	default:
+		usage()
+		err = fmt.Errorf("unknown subcommand %q", os.Args[1])
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mvtrace:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  mvtrace summary   -in spans.jsonl             per-stage latency quantiles
+  mvtrace waterfall -in spans.jsonl [-trace N]  text waterfall for one trace
+run "mvtrace <subcommand> -h" for flags`)
+}
+
+// load reads a -spans-out JSONL export.
+func load(path string) ([]obs.SpanRecord, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	recs, err := obs.ReadSpans(f)
+	if err != nil {
+		return nil, err
+	}
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("%s holds no spans", path)
+	}
+	return recs, nil
+}
+
+func cmdSummary(args []string) error {
+	fs := flag.NewFlagSet("mvtrace summary", flag.ExitOnError)
+	in := fs.String("in", "spans.jsonl", "span JSONL export to analyse")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	recs, err := load(*in)
+	if err != nil {
+		return err
+	}
+
+	byKind := map[string][]float64{}
+	for _, r := range recs {
+		byKind[r.Kind] = append(byKind[r.Kind], r.Duration())
+	}
+	kinds := make([]string, 0, len(byKind))
+	for k := range byKind {
+		kinds = append(kinds, k)
+	}
+	// Widest stages first, so the table reads as a latency budget.
+	sort.Slice(kinds, func(i, j int) bool {
+		a, b := quantile(byKind[kinds[i]], 0.50), quantile(byKind[kinds[j]], 0.50)
+		if a != b {
+			return a > b
+		}
+		return kinds[i] < kinds[j]
+	})
+
+	traces := map[uint64]struct{}{}
+	for _, r := range recs {
+		traces[r.Trace] = struct{}{}
+	}
+	fmt.Printf("%d spans · %d traces · %s\n\n", len(recs), len(traces), *in)
+	fmt.Printf("%-14s %8s %12s %12s %12s %12s\n", "kind", "count", "p50", "p95", "p99", "max")
+	for _, k := range kinds {
+		d := byKind[k]
+		sort.Float64s(d)
+		fmt.Printf("%-14s %8d %12s %12s %12s %12s\n", k, len(d),
+			dur(quantile(d, 0.50)), dur(quantile(d, 0.95)),
+			dur(quantile(d, 0.99)), dur(d[len(d)-1]))
+	}
+	return nil
+}
+
+// quantile is the nearest-rank order statistic over a sorted (or about to be
+// sorted) sample — exact, not estimated, since the full export is in memory.
+func quantile(d []float64, q float64) float64 {
+	if len(d) == 0 {
+		return 0
+	}
+	if !sort.Float64sAreSorted(d) {
+		sort.Float64s(d)
+	}
+	idx := int(q*float64(len(d))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(d) {
+		idx = len(d) - 1
+	}
+	return d[idx]
+}
+
+// dur renders seconds with a unit fitting its magnitude.
+func dur(s float64) string {
+	switch {
+	case s >= 1:
+		return fmt.Sprintf("%.3fs", s)
+	case s >= 1e-3:
+		return fmt.Sprintf("%.2fms", s*1e3)
+	default:
+		return fmt.Sprintf("%.1fµs", s*1e6)
+	}
+}
+
+func cmdWaterfall(args []string) error {
+	fs := flag.NewFlagSet("mvtrace waterfall", flag.ExitOnError)
+	in := fs.String("in", "spans.jsonl", "span JSONL export to analyse")
+	traceID := fs.Uint64("trace", 0, "trace id to render (default: the trace with the most spans)")
+	width := fs.Int("width", 48, "bar width in characters")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	recs, err := load(*in)
+	if err != nil {
+		return err
+	}
+
+	if *traceID == 0 {
+		counts := map[uint64]int{}
+		for _, r := range recs {
+			counts[r.Trace]++
+		}
+		best, bestN := uint64(0), 0
+		for t, n := range counts {
+			if n > bestN || (n == bestN && t < best) {
+				best, bestN = t, n
+			}
+		}
+		*traceID = best
+	}
+	var spans []obs.SpanRecord
+	for _, r := range recs {
+		if r.Trace == *traceID {
+			spans = append(spans, r)
+		}
+	}
+	if len(spans) == 0 {
+		return fmt.Errorf("trace %d not found in %s", *traceID, *in)
+	}
+
+	// Index parent → children; roots are spans whose parent is absent.
+	ids := map[uint64]bool{}
+	for _, r := range spans {
+		ids[r.ID] = true
+	}
+	children := map[uint64][]obs.SpanRecord{}
+	var roots []obs.SpanRecord
+	for _, r := range spans {
+		if r.Parent != 0 && ids[r.Parent] {
+			children[r.Parent] = append(children[r.Parent], r)
+		} else {
+			roots = append(roots, r)
+		}
+	}
+	byStart := func(s []obs.SpanRecord) {
+		sort.Slice(s, func(i, j int) bool {
+			if s[i].Start != s[j].Start {
+				return s[i].Start < s[j].Start
+			}
+			return s[i].ID < s[j].ID
+		})
+	}
+	byStart(roots)
+	for _, c := range children {
+		byStart(c)
+	}
+
+	t0, t1 := spans[0].Start, spans[0].End
+	for _, r := range spans {
+		if r.Start < t0 {
+			t0 = r.Start
+		}
+		if r.End > t1 {
+			t1 = r.End
+		}
+	}
+	total := t1 - t0
+	if total <= 0 {
+		total = 1
+	}
+
+	fmt.Printf("trace %d · %d spans · %s\n\n", *traceID, len(spans), dur(t1-t0))
+	var render func(r obs.SpanRecord, depth int)
+	render = func(r obs.SpanRecord, depth int) {
+		label := strings.Repeat("  ", depth) + r.Kind
+		if v, ok := r.Attrs["version"]; ok {
+			label += fmt.Sprintf("[%v]", v)
+		}
+		off := int(float64(*width) * (r.Start - t0) / total)
+		bar := int(float64(*width) * r.Duration() / total)
+		if bar < 1 {
+			bar = 1
+		}
+		if off+bar > *width {
+			bar = *width - off
+			if bar < 1 {
+				bar = 1
+			}
+		}
+		fmt.Printf("%-26s %s%s%s %s\n", label,
+			strings.Repeat(" ", off), strings.Repeat("█", bar),
+			strings.Repeat(" ", *width-off-bar), dur(r.Duration()))
+		for _, c := range children[r.ID] {
+			render(c, depth+1)
+		}
+	}
+	for _, r := range roots {
+		render(r, 0)
+	}
+	return nil
+}

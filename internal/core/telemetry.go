@@ -40,6 +40,18 @@ const (
 type telemetry struct {
 	reg    *obs.Registry
 	tracer *obs.Tracer
+	spans  *obs.SpanSink
+	flight *obs.FlightRecorder
+
+	// trace groups every span this System emits; span times are simulated
+	// seconds (the System's clock), not the sink's wall clock.
+	trace uint64
+	// stateSince tracks, per module, the simulated second it entered its
+	// current state — closed into a "module_state" span on each transition.
+	stateSince []float64
+	// rejuvStart tracks, per module, when its in-progress rejuvenation
+	// began (NaN-free: -1 when none is running).
+	rejuvStart []float64
 
 	// Hot-path handles, resolved once at Instrument time.
 	decisions     *obs.Counter
@@ -58,10 +70,19 @@ type telemetry struct {
 // stateLabel is the exposition value for a module state.
 func stateLabel(s ModuleState) string { return s.String() }
 
-// newTelemetry resolves every handle the system needs. reg and tracer may
-// each be nil independently (tracing without metrics and vice versa).
-func newTelemetry(reg *obs.Registry, tracer *obs.Tracer, moduleNames []string) *telemetry {
-	t := &telemetry{reg: reg, tracer: tracer, moduleNames: moduleNames}
+// newTelemetry resolves every handle the system needs. Every handle may be
+// nil independently (tracing without metrics and vice versa).
+func newTelemetry(reg *obs.Registry, tracer *obs.Tracer, spans *obs.SpanSink, flight *obs.FlightRecorder, moduleNames []string) *telemetry {
+	t := &telemetry{
+		reg: reg, tracer: tracer, spans: spans, flight: flight,
+		trace:       spans.NewTraceID(),
+		stateSince:  make([]float64, len(moduleNames)),
+		rejuvStart:  make([]float64, len(moduleNames)),
+		moduleNames: moduleNames,
+	}
+	for i := range t.rejuvStart {
+		t.rejuvStart[i] = -1
+	}
 	reg.Help(MetricVoterRounds, "Voter rounds by outcome (decision, skip_divergence, skip_no_modules).")
 	reg.Help(MetricInferenceLatency, "Wall-clock latency of one module inference, per version.")
 	reg.Help(MetricVoteLatency, "Wall-clock latency of one voter decision.")
@@ -120,6 +141,26 @@ func (t *telemetry) transition(now float64, idx int, from, to ModuleState, kind,
 		}
 		t.tracer.Emit(now, typ, attrs)
 	}
+	if t.spans != nil {
+		// Close the interval the module spent in its previous state. Span
+		// times are simulated seconds on the System's shared trace.
+		t.spans.Emit(t.trace, 0, "module_state", t.stateSince[idx], now,
+			map[string]any{"module": name, "state": stateLabel(from)})
+		t.stateSince[idx] = now
+		if to == Rejuvenating {
+			t.rejuvStart[idx] = now
+		} else if from == Rejuvenating && t.rejuvStart[idx] >= 0 {
+			t.spans.Emit(t.trace, 0, "rejuvenation", t.rejuvStart[idx], now,
+				map[string]any{"module": name})
+			t.rejuvStart[idx] = -1
+		}
+	}
+	switch {
+	case kind != "":
+		t.flight.Trigger("rejuvenation_"+kind, map[string]any{"module": name})
+	case to == Compromised:
+		t.flight.Trigger("compromise", map[string]any{"module": name})
+	}
 }
 
 // trigger records a proactive rejuvenation trigger expiry.
@@ -162,6 +203,16 @@ func (t *telemetry) voterOutcome(now float64, d *decisionOutcome) {
 			"proposals": d.proposals,
 		})
 	}
+	// A skip with live proposals is a divergence: a zero-length span marks
+	// the voter round in simulated time, and the flight recorder snapshots
+	// the window around it.
+	if d.skipped && d.proposals > 0 {
+		if t.spans != nil {
+			t.spans.Emit(t.trace, 0, "divergence", now, now,
+				map[string]any{"reason": d.reason, "proposals": d.proposals})
+		}
+		t.flight.Trigger("divergence", map[string]any{"reason": d.reason})
+	}
 }
 
 // decisionOutcome is the telemetry-relevant slice of a Decision, extracted
@@ -178,7 +229,20 @@ type decisionOutcome struct {
 // system's random stream — so it never changes the decision sequence.
 // Instrument is not safe to call concurrently with Infer/Advance.
 func (s *System[I, O]) Instrument(reg *obs.Registry, tracer *obs.Tracer) {
-	if reg == nil && tracer == nil {
+	s.instrument(reg, tracer, nil, nil)
+}
+
+// InstrumentObs is Instrument taking a full obs.Runtime: in addition to
+// metrics and events the system emits module_state / rejuvenation /
+// divergence spans (in simulated seconds) and fires the runtime's flight
+// recorder around compromises, divergences and rejuvenations. A nil Runtime
+// detaches telemetry.
+func (s *System[I, O]) InstrumentObs(rt *obs.Runtime) {
+	s.instrument(rt.Metrics(), rt.Tracer(), rt.Spans(), rt.Flight())
+}
+
+func (s *System[I, O]) instrument(reg *obs.Registry, tracer *obs.Tracer, spans *obs.SpanSink, flight *obs.FlightRecorder) {
+	if reg == nil && tracer == nil && spans == nil && flight == nil {
 		s.tel = nil
 		return
 	}
@@ -186,7 +250,7 @@ func (s *System[I, O]) Instrument(reg *obs.Registry, tracer *obs.Tracer) {
 	for i, m := range s.modules {
 		names[i] = m.Name()
 	}
-	s.tel = newTelemetry(reg, tracer, names)
+	s.tel = newTelemetry(reg, tracer, spans, flight, names)
 	for i, m := range s.modules {
 		s.tel.stateGauge[i].Set(float64(m.state))
 	}

@@ -1,11 +1,31 @@
 package core
 
 import (
+	"encoding/json"
+	"os"
 	"testing"
 
 	"mvml/internal/obs"
 	"mvml/internal/xrand"
 )
+
+// divergingVersion answers the shared healthy value until compromised, then
+// a version-unique wrong one, so any compromised member visibly disagrees.
+type divergingVersion struct {
+	name        string
+	id          int
+	compromised bool
+}
+
+func (v *divergingVersion) Name() string { return v.name }
+func (v *divergingVersion) Infer(int) (int, error) {
+	if v.compromised {
+		return -1 - v.id, nil
+	}
+	return 1, nil
+}
+func (v *divergingVersion) Compromise() error { v.compromised = true; return nil }
+func (v *divergingVersion) Restore() error    { v.compromised = false; return nil }
 
 // stepRecord is the decision-relevant outcome of one Infer call.
 type stepRecord struct {
@@ -30,8 +50,10 @@ func driveSystem(t *testing.T, sys *System[int, int], steps int) []stepRecord {
 }
 
 // TestInstrumentDoesNotAlterDecisions is the determinism regression test:
-// an instrumented run must produce exactly the decision sequence, stats,
-// and final module states of the uninstrumented run with the same seed.
+// a run instrumented with the full observability stack (metrics, events,
+// spans and an attached flight recorder) must produce exactly the decision
+// sequence, stats, and final module states of the uninstrumented run with
+// the same seed.
 func TestInstrumentDoesNotAlterDecisions(t *testing.T) {
 	const steps = 2000
 	cfg := CaseStudyConfig()
@@ -46,7 +68,13 @@ func TestInstrumentDoesNotAlterDecisions(t *testing.T) {
 
 	plain := build()
 	instrumented := build()
-	instrumented.Instrument(obs.NewRegistry(), obs.NewTracer(1024))
+	rt := obs.NewRuntime(1024)
+	fr, err := obs.NewFlightRecorder(t.TempDir(), 0, 0, rt.Spans(), rt.Tracer())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.AttachFlightRecorder(fr)
+	instrumented.InstrumentObs(rt)
 
 	seqA := driveSystem(t, plain, steps)
 	seqB := driveSystem(t, instrumented, steps)
@@ -63,6 +91,104 @@ func TestInstrumentDoesNotAlterDecisions(t *testing.T) {
 			t.Fatalf("module %d state diverged: %v vs %v", i, m.State(), instrumented.Modules()[i].State())
 		}
 	}
+}
+
+// TestSystemSpanEmission drives a fault-injected run with spans and a
+// flight recorder attached and checks the simulated-clock span stream:
+// module_state intervals on every transition, rejuvenation intervals with
+// drain durations, zero-length divergence markers, and incident files
+// around compromises / divergences / rejuvenations. Two diverging versions
+// make every single compromise a 1v1 split, so the run reliably produces
+// divergences.
+func TestSystemSpanEmission(t *testing.T) {
+	cfg := CaseStudyConfig()
+	versions := []Version[int, int]{
+		&divergingVersion{name: "a", id: 0},
+		&divergingVersion{name: "b", id: 1},
+	}
+	sys, err := NewSystem[int, int](versions, NewEqualityVoter[int](), cfg, xrand.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := obs.NewRuntime(4096)
+	fr, err := obs.NewFlightRecorder(t.TempDir(), 0, 0, rt.Spans(), rt.Tracer())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.AttachFlightRecorder(fr)
+	sys.InstrumentObs(rt)
+	driveSystem(t, sys, 3000)
+	st := sys.Stats()
+	if st.Compromises == 0 || st.Divergences == 0 || st.ReactiveRejuvenations == 0 {
+		t.Fatalf("run too quiet to be meaningful: %+v", st)
+	}
+
+	trace := uint64(0)
+	kinds := map[string]int{}
+	for _, r := range rt.Spans().Spans() {
+		kinds[r.Kind]++
+		if trace == 0 {
+			trace = r.Trace
+		} else if r.Trace != trace {
+			t.Fatalf("system emitted multiple trace ids: %d and %d", trace, r.Trace)
+		}
+		switch r.Kind {
+		case "module_state":
+			if r.Attrs["module"] == nil || r.Attrs["state"] == nil {
+				t.Fatalf("module_state span missing attrs: %+v", r)
+			}
+			if r.End < r.Start {
+				t.Fatalf("module_state interval inverted: %+v", r)
+			}
+		case "rejuvenation":
+			if r.End <= r.Start {
+				t.Fatalf("rejuvenation span has no drain duration: %+v", r)
+			}
+		case "divergence":
+			if r.End != r.Start {
+				t.Fatalf("divergence marker not zero-length: %+v", r)
+			}
+		default:
+			t.Fatalf("unexpected span kind %q", r.Kind)
+		}
+	}
+	for _, kind := range []string{"module_state", "rejuvenation", "divergence"} {
+		if kinds[kind] == 0 {
+			t.Fatalf("no %s spans emitted (kinds: %v)", kind, kinds)
+		}
+	}
+	if kinds["divergence"] != st.Divergences {
+		t.Fatalf("%d divergence spans, stats counted %d", kinds["divergence"], st.Divergences)
+	}
+
+	if err := fr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	reasons := map[string]bool{}
+	for _, path := range fr.Incidents() {
+		reasons[readIncidentReason(t, path)] = true
+	}
+	for _, want := range []string{"compromise", "divergence", "rejuvenation_reactive"} {
+		if !reasons[want] {
+			t.Fatalf("no incident for %q (got %v)", want, reasons)
+		}
+	}
+}
+
+// readIncidentReason extracts the reason field from one incident file.
+func readIncidentReason(t *testing.T, path string) string {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var inc struct {
+		Reason string `json:"reason"`
+	}
+	if err := json.Unmarshal(b, &inc); err != nil {
+		t.Fatalf("%s: %v", path, err)
+	}
+	return inc.Reason
 }
 
 // TestTelemetryMirrorsStats checks the registry counters agree with the

@@ -69,7 +69,7 @@ func driveArm(cfg CaseStudyConfig, makePipe func(seed uint64, rng *xrand.Rand) (
 				return nil, err
 			}
 			if p, ok := pipe.(*perception.Pipeline); ok {
-				p.Instrument(cfg.Obs.Metrics(), cfg.Obs.Tracer())
+				p.InstrumentObs(cfg.Obs)
 			}
 			return drivesim.Run(drivesim.Config{RouteNumber: route, CruiseSpeed: cfg.CruiseSpeed,
 				Metrics: cfg.Obs.Metrics(), Tracer: cfg.Obs.Tracer()},

@@ -106,7 +106,7 @@ func runRoute(cfg CaseStudyConfig, route int, rejuvenate bool, root *xrand.Rand)
 		if err != nil {
 			return nil, err
 		}
-		pipe.Instrument(cfg.Obs.Metrics(), cfg.Obs.Tracer())
+		pipe.InstrumentObs(cfg.Obs)
 		cfg.Obs.Metrics().Counter(MetricExperimentRuns,
 			"route", fmt.Sprintf("%d", route), "arm", arm).Inc()
 		return drivesim.Run(drivesim.Config{
@@ -340,7 +340,7 @@ func RunTableVIII(cfg CaseStudyConfig, runs int) (*TableVIIIResult, error) {
 			if err != nil {
 				return overhead{}, err
 			}
-			pipe.Instrument(cfg.Obs.Metrics(), cfg.Obs.Tracer())
+			pipe.InstrumentObs(cfg.Obs)
 			r, err := drivesim.Run(drivesim.Config{RouteNumber: 1, CruiseSpeed: cfg.CruiseSpeed,
 				Metrics: cfg.Obs.Metrics(), Tracer: cfg.Obs.Tracer()},
 				pipe, root.Split("sim", seed))

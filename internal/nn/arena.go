@@ -23,7 +23,15 @@ type InferenceArena struct {
 	// latency on large batches.
 	GemmWorkers int
 
+	// Profiler, when non-nil, receives per-layer timings and GEMM shapes
+	// from every dispatch through this arena (see ForwardProfiler). The
+	// default nil costs one branch per layer.
+	Profiler ForwardProfiler
+
 	bufs map[arenaKey]*tensor.Tensor
+	// profLayer labels GEMM observations with the layer currently being
+	// dispatched; maintained by profiledForward.
+	profLayer string
 }
 
 // arenaPurpose distinguishes the scratch buffers one layer may hold.
@@ -172,6 +180,7 @@ func (d *Dense) ForwardBatchArena(x *tensor.Tensor, ar *InferenceArena) (*tensor
 	if err := tensor.GemmTransB(y, x, d.W); err != nil {
 		return nil, fmt.Errorf("dense %s: %w", d.name, err)
 	}
+	ar.noteGemm(b, out, in)
 	for i := 0; i < b; i++ {
 		row := y.Data[i*out : (i+1)*out]
 		for o := range row {
@@ -209,6 +218,7 @@ func (c *Conv2D) ForwardBatchArena(x *tensor.Tensor, ar *InferenceArena) (*tenso
 	if err := tensor.GemmParallel(y, c.kernelMatrix(), cols, ar.GemmWorkers); err != nil {
 		return nil, fmt.Errorf("conv %s: %w", c.name, err)
 	}
+	ar.noteGemm(outC, b*spatial, inC*kh*kw)
 	// Reorder (outC, B·oh·ow) → (B, outC, oh, ow), adding the bias on the
 	// way: per (sample, channel) the run is contiguous on both sides.
 	out := ar.tensor(c, arenaOut, b, outC, oh, ow)

@@ -78,6 +78,9 @@ func forwardBatchLayers(layers []Layer, x *tensor.Tensor, ar *InferenceArena) (*
 func forwardOneBatch(l Layer, x *tensor.Tensor, ar *InferenceArena) (*tensor.Tensor, error) {
 	if ar != nil {
 		if al, ok := l.(ArenaBatchLayer); ok {
+			if ar.Profiler != nil {
+				return profiledForward(al, l, x, ar)
+			}
 			return al.ForwardBatchArena(x, ar)
 		}
 	}

@@ -6,7 +6,10 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
+	"path/filepath"
+	"runtime"
 	"time"
 )
 
@@ -23,20 +26,39 @@ type CLI struct {
 	SummaryPath string
 	// TracePath receives the retained trace events as JSONL.
 	TracePath string
-	// TraceCapacity bounds the trace ring buffer.
+	// SpansPath streams every finished span as JSONL for the lifetime of
+	// the run (the input of `mvtrace summary`/`mvtrace waterfall`).
+	SpansPath string
+	// IncidentDir enables the flight recorder: the window around every
+	// divergence, compromise and rejuvenation is written there as a
+	// self-contained JSON incident file.
+	IncidentDir string
+	// IncidentPost is the flight recorder's post-trigger capture horizon.
+	IncidentPost time.Duration
+	// TraceCapacity bounds the trace and span ring buffers.
 	TraceCapacity int
+	// Pprof mounts net/http/pprof under /debug/pprof/ on the metrics
+	// endpoint (requires MetricsAddr).
+	Pprof bool
 	// Hold keeps the metrics endpoint up for this long after Finish, so
 	// short runs can still be scraped.
 	Hold time.Duration
 
-	rt  *Runtime
-	srv *http.Server
-	ln  net.Listener
+	rt        *Runtime
+	srv       *http.Server
+	ln        net.Listener
+	spansFile *os.File
+	infoKV    []string
 }
 
 // DefaultSummaryPath is where the JSON run summary lands when telemetry is
 // enabled without an explicit -telemetry-out.
 const DefaultSummaryPath = "mvml-telemetry.json"
+
+// MetricBuildInfo is the constant-1 gauge identifying the emitting binary:
+// go version, binary name, and whatever extra labels the binary added via
+// InfoLabel (e.g. its workers configuration).
+const MetricBuildInfo = "mv_build_info"
 
 // RegisterFlags installs the telemetry flags on fs.
 func (c *CLI) RegisterFlags(fs *flag.FlagSet) {
@@ -46,19 +68,35 @@ func (c *CLI) RegisterFlags(fs *flag.FlagSet) {
 		fmt.Sprintf("write the JSON telemetry summary here and enable telemetry (default %s when another telemetry flag is set)", DefaultSummaryPath))
 	fs.StringVar(&c.TracePath, "trace-out", "",
 		"write the JSONL event trace here and enable telemetry")
+	fs.StringVar(&c.SpansPath, "spans-out", "",
+		"stream the JSONL span trace here and enable telemetry (analyse with mvtrace)")
+	fs.StringVar(&c.IncidentDir, "incident-dir", "",
+		"write flight-recorder incident files into this directory and enable telemetry")
+	fs.DurationVar(&c.IncidentPost, "incident-post", DefaultPostWindow,
+		"flight-recorder post-trigger capture window")
 	fs.IntVar(&c.TraceCapacity, "trace-capacity", DefaultTraceCapacity,
-		"event-trace ring buffer capacity")
+		"event-trace and span ring buffer capacity")
+	fs.BoolVar(&c.Pprof, "pprof", false,
+		"mount net/http/pprof under /debug/pprof/ on the metrics endpoint")
 	fs.DurationVar(&c.Hold, "metrics-hold", 0,
 		"keep the metrics endpoint up this long after the run finishes")
 }
 
+// InfoLabel adds one label pair to the mv_build_info gauge; call before
+// Start (binaries use it to expose run configuration such as worker counts).
+func (c *CLI) InfoLabel(key, value string) {
+	c.infoKV = append(c.infoKV, key, value)
+}
+
 // Enabled reports whether any telemetry flag turns collection on.
 func (c *CLI) Enabled() bool {
-	return c.MetricsAddr != "" || c.SummaryPath != "" || c.TracePath != ""
+	return c.MetricsAddr != "" || c.SummaryPath != "" || c.TracePath != "" ||
+		c.SpansPath != "" || c.IncidentDir != ""
 }
 
 // Start builds the Runtime and, when requested, brings up the metrics
-// endpoint. It returns (nil, nil) when telemetry is disabled.
+// endpoint, the span exporter and the flight recorder. It returns (nil, nil)
+// when telemetry is disabled.
 func (c *CLI) Start() (*Runtime, error) {
 	if !c.Enabled() {
 		return nil, nil
@@ -67,26 +105,109 @@ func (c *CLI) Start() (*Runtime, error) {
 		c.SummaryPath = DefaultSummaryPath
 	}
 	c.rt = NewRuntime(c.TraceCapacity)
+	c.registerBuildInfo()
+	if c.SpansPath != "" {
+		f, err := os.Create(c.SpansPath)
+		if err != nil {
+			return nil, fmt.Errorf("obs: span export: %w", err)
+		}
+		c.spansFile = f
+		c.rt.Spans().SetWriter(f)
+	}
+	if c.IncidentDir != "" {
+		fr, err := NewFlightRecorder(c.IncidentDir, c.IncidentPost, 0, c.rt.Spans(), c.rt.Tracer())
+		if err != nil {
+			return nil, err
+		}
+		c.rt.AttachFlightRecorder(fr)
+	}
 	if c.MetricsAddr != "" {
 		ln, err := net.Listen("tcp", c.MetricsAddr)
 		if err != nil {
 			return nil, fmt.Errorf("obs: metrics listener: %w", err)
 		}
 		c.ln = ln
-		c.srv = &http.Server{Handler: c.rt.Metrics().Handler()}
+		c.srv = &http.Server{Handler: c.debugMux()}
 		srv := c.srv
 		go func() { _ = srv.Serve(ln) }()
 		fmt.Fprintf(os.Stderr, "obs: serving metrics on http://%s/metrics\n", ln.Addr())
+		if c.Pprof {
+			fmt.Fprintf(os.Stderr, "obs: serving pprof on http://%s/debug/pprof/\n", ln.Addr())
+		}
 	}
 	return c.rt, nil
 }
 
-// Finish writes the summary and trace artifacts, honours -metrics-hold, and
-// shuts the endpoint down. extra is embedded verbatim in the summary's
-// "extra" field. Safe to call when telemetry is disabled.
+// registerBuildInfo publishes the mv_build_info identity gauge.
+func (c *CLI) registerBuildInfo() {
+	reg := c.rt.Metrics()
+	reg.Help(MetricBuildInfo, "Constant 1; labels identify the emitting binary and its configuration.")
+	kv := append([]string{
+		"binary", filepath.Base(os.Args[0]),
+		"go_version", runtime.Version(),
+	}, c.infoKV...)
+	reg.Gauge(MetricBuildInfo, kv...).Set(1)
+}
+
+// debugMux routes the metrics endpoint: /metrics for exposition, a plain
+// index at /, and (behind -pprof) the net/http/pprof handlers under /debug/.
+func (c *CLI) debugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", c.rt.Metrics().Handler())
+	pprofOn := c.Pprof
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" && r.URL.Path != "/debug" && r.URL.Path != "/debug/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "mvml debug index")
+		fmt.Fprintln(w, "  /metrics       Prometheus text exposition")
+		if pprofOn {
+			fmt.Fprintln(w, "  /debug/pprof/  runtime profiles (heap, goroutine, profile, trace, ...)")
+		}
+	})
+	if c.Pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return mux
+}
+
+// Finish writes the summary and trace artifacts, closes the span exporter
+// and flight recorder, honours -metrics-hold, and shuts the endpoint down.
+// extra is embedded verbatim in the summary's "extra" field. Safe to call
+// when telemetry is disabled.
 func (c *CLI) Finish(extra map[string]any) error {
 	if c.rt == nil {
 		return nil
+	}
+	var firstErr error
+	fail := func(err error) {
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if fr := c.rt.Flight(); fr != nil {
+		fail(fr.Close())
+		if n := len(fr.Incidents()); n > 0 {
+			fmt.Fprintf(os.Stderr, "obs: wrote %d incident file(s) to %s\n", n, fr.Dir())
+		}
+	}
+	if c.spansFile != nil {
+		err := c.rt.Spans().Flush()
+		if cerr := c.spansFile.Close(); err == nil {
+			err = cerr
+		}
+		c.spansFile = nil
+		if err != nil {
+			fail(fmt.Errorf("obs: span export: %w", err))
+		} else {
+			fmt.Fprintf(os.Stderr, "obs: wrote %d spans to %s\n", c.rt.Spans().Published(), c.SpansPath)
+		}
 	}
 	if c.SummaryPath != "" {
 		f, err := os.Create(c.SummaryPath)
@@ -127,7 +248,7 @@ func (c *CLI) Finish(extra map[string]any) error {
 			return fmt.Errorf("obs: metrics shutdown: %w", err)
 		}
 	}
-	return nil
+	return firstErr
 }
 
 // shutdownGrace bounds how long Finish waits for in-flight scrapes before

@@ -161,3 +161,89 @@ func TestCLISummaryPathDefaults(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestCLISpansIncidentsAndDebugEndpoints(t *testing.T) {
+	dir := t.TempDir()
+	c := &CLI{
+		MetricsAddr: "127.0.0.1:0",
+		SummaryPath: filepath.Join(dir, "s.json"),
+		SpansPath:   filepath.Join(dir, "spans.jsonl"),
+		IncidentDir: filepath.Join(dir, "incidents"),
+		Pprof:       true,
+	}
+	c.InfoLabel("workers", "3x2")
+	rt, err := c.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Spans() == nil || rt.Flight() == nil {
+		t.Fatal("runtime missing span sink or flight recorder")
+	}
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get("http://" + c.ListenAddr() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(b)
+	}
+	if code, body := get("/metrics"); code != http.StatusOK ||
+		!strings.Contains(body, `mv_build_info{binary=`) ||
+		!strings.Contains(body, `workers="3x2"`) {
+		t.Fatalf("/metrics = %d, build info missing:\n%s", code, body)
+	}
+	if code, body := get("/"); code != http.StatusOK || !strings.Contains(body, "/debug/pprof/") {
+		t.Fatalf("/ index = %d %q", code, body)
+	}
+	if code, _ := get("/debug/pprof/"); code != http.StatusOK {
+		t.Fatalf("/debug/pprof/ = %d", code)
+	}
+	if code, _ := get("/no-such-page"); code != http.StatusNotFound {
+		t.Fatalf("unknown path = %d, want 404", code)
+	}
+
+	sp := rt.Spans().StartTrace("request")
+	sp.Child("vote").End()
+	sp.End()
+	rt.Flight().Trigger("compromise", map[string]any{"version": "a"})
+	if err := c.Finish(nil); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := os.Open(c.SpansPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	recs, err := ReadSpans(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("span export holds %d records, want 2", len(recs))
+	}
+	incidents, err := filepath.Glob(filepath.Join(c.IncidentDir, "incident-*.json"))
+	if err != nil || len(incidents) != 1 {
+		t.Fatalf("incident files = %v (%v), want exactly one", incidents, err)
+	}
+}
+
+func TestCLIPprofOffByDefault(t *testing.T) {
+	c := &CLI{MetricsAddr: "127.0.0.1:0", SummaryPath: filepath.Join(t.TempDir(), "s.json")}
+	if _, err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + c.ListenAddr() + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("/debug/pprof/ without -pprof = %d, want 404", resp.StatusCode)
+	}
+	if err := c.Finish(nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestWritePrometheusByteIdentical pins the exposition-stability contract:
+// repeated snapshots of an unchanged registry serialise to byte-identical
+// output (families name-sorted, series key-sorted), so scrapes diff cleanly.
+func TestWritePrometheusByteIdentical(t *testing.T) {
+	r := NewRegistry()
+	r.Help("mv_a_total", "A counter.")
+	r.Counter("mv_a_total", "version", "b").Add(3)
+	r.Counter("mv_a_total", "version", "a").Inc()
+	r.Gauge("mv_b", "state", "H").Set(2)
+	r.Histogram("mv_c_seconds", LatencyBuckets()).Observe(0.004)
+
+	var first bytes.Buffer
+	if err := r.WritePrometheus(&first); err != nil {
+		t.Fatal(err)
+	}
+	if first.Len() == 0 {
+		t.Fatal("empty exposition")
+	}
+	for i := 0; i < 10; i++ {
+		var again bytes.Buffer
+		if err := r.WritePrometheus(&again); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first.Bytes(), again.Bytes()) {
+			t.Fatalf("snapshot %d differs:\n--- first\n%s\n--- again\n%s", i, first.String(), again.String())
+		}
+	}
+}
+
+// TestWritePrometheusDeterministicUnderConcurrentCreation races many
+// goroutines creating interleaved series, then checks the final exposition
+// is independent of creation order: whatever interleaving happened, the
+// sorted output must match a registry built sequentially.
+func TestWritePrometheusDeterministicUnderConcurrentCreation(t *testing.T) {
+	const goroutines = 8
+	const perG = 25
+
+	concurrent := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				concurrent.Counter("mv_conc_total", "g", fmt.Sprintf("%d", g), "i", fmt.Sprintf("%02d", i)).Inc()
+				concurrent.Gauge("mv_conc_gauge", "g", fmt.Sprintf("%d", g)).Set(float64(i))
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	sequential := NewRegistry()
+	for g := 0; g < goroutines; g++ {
+		for i := 0; i < perG; i++ {
+			sequential.Counter("mv_conc_total", "g", fmt.Sprintf("%d", g), "i", fmt.Sprintf("%02d", i)).Inc()
+			sequential.Gauge("mv_conc_gauge", "g", fmt.Sprintf("%d", g)).Set(float64(perG - 1))
+		}
+	}
+
+	var a, b bytes.Buffer
+	if err := concurrent.WritePrometheus(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := sequential.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("concurrent creation changed exposition:\n--- concurrent\n%s\n--- sequential\n%s", a.String(), b.String())
+	}
+}

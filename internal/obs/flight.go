@@ -1,0 +1,235 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// Incident is the flight recorder's self-contained snapshot of the window
+// around one trigger: every span and trace event retained at trigger time
+// (the pre-window, bounded by the ring capacities) plus every span that
+// finished within PostWindow seconds afterwards.
+type Incident struct {
+	ID     int            `json:"id"`
+	Reason string         `json:"reason"`
+	Time   float64        `json:"t"` // sink seconds at trigger
+	Attrs  map[string]any `json:"attrs,omitempty"`
+	// PostWindow is the post-trigger capture horizon in seconds.
+	PostWindow float64 `json:"post_window_seconds"`
+	// FollowUps counts same-reason triggers folded into this incident while
+	// its post-window was still open.
+	FollowUps int          `json:"follow_ups,omitempty"`
+	Spans     []SpanRecord `json:"spans,omitempty"`
+	Events    []Event      `json:"events,omitempty"`
+}
+
+// DefaultPostWindow is the post-trigger capture horizon used when a
+// FlightRecorder is built with a non-positive one.
+const DefaultPostWindow = 2 * time.Second
+
+// DefaultMaxIncidents bounds how many incident files one run may write.
+const DefaultMaxIncidents = 32
+
+// FlightRecorder reconstructs the seconds surrounding compromise,
+// divergence and rejuvenation events. It rides on the bounded rings the
+// span sink and event tracer already maintain: Trigger snapshots both
+// (the pre-window), then the recorder keeps appending spans as the sink
+// publishes them until the post-window closes, and finally writes one
+// self-contained JSON incident file into its directory.
+//
+// Incident finalisation is driven by subsequent span publishes and by
+// Close, so a recorder never needs its own goroutine. Same-reason triggers
+// arriving while an incident's post-window is open fold into it (the
+// FollowUps counter), keeping a sustained fault from flooding the disk;
+// the MaxIncidents cap bounds the worst case. A nil *FlightRecorder is a
+// valid no-op handle.
+type FlightRecorder struct {
+	dir          string
+	post         float64
+	maxIncidents int
+	sink         *SpanSink
+	tracer       *Tracer
+
+	mu      sync.Mutex
+	seq     int
+	open    []*Incident
+	closeAt []float64 // aligned with open
+	written []string
+	err     error
+}
+
+// NewFlightRecorder builds a recorder writing incident files into dir
+// (created if missing). sink and tracer provide the pre-trigger window and
+// may each be nil independently. post <= 0 selects DefaultPostWindow;
+// maxIncidents <= 0 selects DefaultMaxIncidents.
+func NewFlightRecorder(dir string, post time.Duration, maxIncidents int, sink *SpanSink, tracer *Tracer) (*FlightRecorder, error) {
+	if post <= 0 {
+		post = DefaultPostWindow
+	}
+	if maxIncidents <= 0 {
+		maxIncidents = DefaultMaxIncidents
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("obs: flight recorder dir: %w", err)
+	}
+	return &FlightRecorder{
+		dir:          dir,
+		post:         post.Seconds(),
+		maxIncidents: maxIncidents,
+		sink:         sink,
+		tracer:       tracer,
+	}, nil
+}
+
+// Dir returns the incident directory ("" on a nil recorder).
+func (f *FlightRecorder) Dir() string {
+	if f == nil {
+		return ""
+	}
+	return f.dir
+}
+
+// Trigger opens an incident for the given reason: it snapshots the span and
+// event rings now and keeps capturing spans until the post-window closes.
+// attrs is stored as given and must not be mutated afterwards. Triggers
+// beyond the incident cap, and same-reason triggers landing inside an open
+// incident's post-window, only bump counters.
+func (f *FlightRecorder) Trigger(reason string, attrs map[string]any) {
+	if f == nil {
+		return
+	}
+	// Snapshot the pre-window BEFORE taking f.mu: the sink calls observe
+	// with its own lock already released, but Spans() locks the sink, so the
+	// only safe lock order is sink → recorder.
+	spans := f.sink.Spans()
+	events := f.tracer.Events()
+	now := f.sink.Now()
+
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.finalizeLocked(now)
+	for i, inc := range f.open {
+		if inc.Reason == reason && now < f.closeAt[i] {
+			inc.FollowUps++
+			return
+		}
+	}
+	if f.seq >= f.maxIncidents {
+		return
+	}
+	inc := &Incident{
+		ID:         f.seq,
+		Reason:     reason,
+		Time:       now,
+		Attrs:      attrs,
+		PostWindow: f.post,
+		Spans:      spans,
+		Events:     events,
+	}
+	f.seq++
+	f.open = append(f.open, inc)
+	f.closeAt = append(f.closeAt, now+f.post)
+}
+
+// observe receives every batch of published spans (called by the sink with
+// no sink lock held): open incidents absorb them, and incidents whose
+// post-window has passed are written out.
+func (f *FlightRecorder) observe(recs []SpanRecord, now float64) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	// Expire first: a publish landing after an incident's post-window must
+	// finalise it without being captured by it.
+	f.finalizeLocked(now)
+	for _, inc := range f.open {
+		inc.Spans = append(inc.Spans, recs...)
+	}
+}
+
+// finalizeLocked writes out every open incident whose post-window closed.
+// Caller holds f.mu.
+func (f *FlightRecorder) finalizeLocked(now float64) {
+	keep := f.open[:0]
+	keepAt := f.closeAt[:0]
+	for i, inc := range f.open {
+		if now < f.closeAt[i] {
+			keep = append(keep, inc)
+			keepAt = append(keepAt, f.closeAt[i])
+			continue
+		}
+		f.writeLocked(inc)
+	}
+	f.open = keep
+	f.closeAt = keepAt
+}
+
+// writeLocked persists one incident file. Caller holds f.mu.
+func (f *FlightRecorder) writeLocked(inc *Incident) {
+	path := filepath.Join(f.dir, fmt.Sprintf("incident-%03d-%s.json", inc.ID, sanitizeReason(inc.Reason)))
+	file, err := os.Create(path)
+	if err == nil {
+		enc := json.NewEncoder(file)
+		enc.SetIndent("", "  ")
+		err = enc.Encode(inc)
+		if cerr := file.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		if f.err == nil {
+			f.err = fmt.Errorf("obs: incident %d: %w", inc.ID, err)
+		}
+		return
+	}
+	f.written = append(f.written, path)
+}
+
+// sanitizeReason maps a trigger reason to a filename-safe slug.
+func sanitizeReason(reason string) string {
+	out := make([]byte, 0, len(reason))
+	for i := 0; i < len(reason); i++ {
+		c := reason[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-', c == '_':
+			out = append(out, c)
+		default:
+			out = append(out, '_')
+		}
+	}
+	if len(out) == 0 {
+		return "incident"
+	}
+	return string(out)
+}
+
+// Close finalises every still-open incident regardless of its remaining
+// post-window and reports the first write error.
+func (f *FlightRecorder) Close() error {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, inc := range f.open {
+		f.writeLocked(inc)
+	}
+	f.open = nil
+	f.closeAt = nil
+	return f.err
+}
+
+// Incidents returns the paths of every incident file written so far.
+func (f *FlightRecorder) Incidents() []string {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]string(nil), f.written...)
+}

@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func newTestRecorder(t *testing.T, post time.Duration, maxIncidents int) (*FlightRecorder, *SpanSink, *Tracer) {
+	t.Helper()
+	sink := NewSpanSink(32)
+	tracer := NewTracer(32)
+	fr, err := NewFlightRecorder(t.TempDir(), post, maxIncidents, sink, tracer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink.AttachFlightRecorder(fr)
+	return fr, sink, tracer
+}
+
+func readIncident(t *testing.T, path string) Incident {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var inc Incident
+	if err := json.Unmarshal(b, &inc); err != nil {
+		t.Fatalf("%s: %v", path, err)
+	}
+	return inc
+}
+
+func TestFlightRecorderCapturesPreAndPostWindow(t *testing.T) {
+	fr, sink, tracer := newTestRecorder(t, 50*time.Millisecond, 0)
+
+	sink.Emit(1, 0, "before", 0, 1, nil)
+	tracer.Emit(0.5, "compromise", nil)
+	fr.Trigger("compromise", map[string]any{"version": "a"})
+	sink.Emit(1, 0, "during", 1, 2, nil) // inside the post-window
+
+	time.Sleep(60 * time.Millisecond)
+	// This publish lands after the post-window and also finalises it.
+	sink.Emit(1, 0, "after", 2, 3, nil)
+
+	files := fr.Incidents()
+	if len(files) != 1 {
+		t.Fatalf("incident files: %v", files)
+	}
+	inc := readIncident(t, files[0])
+	if inc.Reason != "compromise" || inc.Attrs["version"] != "a" {
+		t.Fatalf("incident header: %+v", inc)
+	}
+	kinds := map[string]bool{}
+	for _, r := range inc.Spans {
+		kinds[r.Kind] = true
+	}
+	if !kinds["before"] || !kinds["during"] {
+		t.Fatalf("incident spans missing pre/post capture: %v", kinds)
+	}
+	if kinds["after"] {
+		t.Fatal("incident captured a span past its post-window")
+	}
+	if len(inc.Events) != 1 || inc.Events[0].Type != "compromise" {
+		t.Fatalf("incident events: %+v", inc.Events)
+	}
+	if err := fr.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlightRecorderFoldsSameReason(t *testing.T) {
+	fr, _, _ := newTestRecorder(t, time.Minute, 0)
+	fr.Trigger("divergence", nil)
+	fr.Trigger("divergence", nil)
+	fr.Trigger("divergence", nil)
+	fr.Trigger("compromise", nil) // distinct reason: its own incident
+	if err := fr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	files := fr.Incidents()
+	if len(files) != 2 {
+		t.Fatalf("incident files: %v", files)
+	}
+	inc := readIncident(t, files[0])
+	if inc.Reason != "divergence" || inc.FollowUps != 2 {
+		t.Fatalf("folding failed: reason=%s follow_ups=%d", inc.Reason, inc.FollowUps)
+	}
+}
+
+func TestFlightRecorderMaxIncidents(t *testing.T) {
+	fr, _, _ := newTestRecorder(t, time.Nanosecond, 2)
+	time.Sleep(time.Millisecond) // every post-window expires immediately
+	fr.Trigger("a", nil)
+	time.Sleep(time.Millisecond)
+	fr.Trigger("b", nil)
+	time.Sleep(time.Millisecond)
+	fr.Trigger("c", nil) // over the cap: dropped
+	if err := fr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if files := fr.Incidents(); len(files) != 2 {
+		t.Fatalf("cap not enforced: %v", files)
+	}
+}
+
+func TestFlightRecorderFilenames(t *testing.T) {
+	fr, _, _ := newTestRecorder(t, time.Minute, 0)
+	fr.Trigger("rejuvenation_reactive", nil)
+	if err := fr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	files := fr.Incidents()
+	if len(files) != 1 {
+		t.Fatalf("incident files: %v", files)
+	}
+	if got := filepath.Base(files[0]); got != "incident-000-rejuvenation_reactive.json" {
+		t.Fatalf("incident filename %q", got)
+	}
+}
+
+func TestFlightRecorderNilSafety(t *testing.T) {
+	var fr *FlightRecorder
+	fr.Trigger("x", nil)
+	fr.observe(nil, 0)
+	if fr.Dir() != "" || fr.Incidents() != nil {
+		t.Fatal("nil recorder not empty")
+	}
+	if err := fr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A recorder with neither sink nor tracer still writes incidents.
+	fr2, err := NewFlightRecorder(t.TempDir(), time.Minute, 0, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr2.Trigger("bare", nil)
+	if err := fr2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(fr2.Incidents()) != 1 {
+		t.Fatal("bare recorder wrote no incident")
+	}
+}

@@ -20,26 +20,33 @@
 //     flow.)
 package obs
 
-// Runtime bundles a metrics registry and an event tracer, the pair every
-// instrumented component accepts. A nil *Runtime is valid and yields nil
-// (no-op) handles, so callers can thread cfg.Obs.Metrics()/cfg.Obs.Tracer()
-// unconditionally.
+// Runtime bundles a metrics registry, an event tracer and a span sink — the
+// trio every instrumented component accepts. A nil *Runtime is valid and
+// yields nil (no-op) handles, so callers can thread
+// cfg.Obs.Metrics()/cfg.Obs.Tracer()/cfg.Obs.Spans() unconditionally.
 type Runtime struct {
 	reg    *Registry
 	tracer *Tracer
+	spans  *SpanSink
+	flight *FlightRecorder
 }
 
 // DefaultTraceCapacity is the ring-buffer size used when NewRuntime is
 // called with a non-positive capacity.
 const DefaultTraceCapacity = 8192
 
-// NewRuntime returns a Runtime with a fresh registry and a tracer holding up
-// to traceCapacity events (DefaultTraceCapacity when <= 0).
+// NewRuntime returns a Runtime with a fresh registry, a tracer and a span
+// sink each holding up to traceCapacity records (DefaultTraceCapacity
+// when <= 0).
 func NewRuntime(traceCapacity int) *Runtime {
 	if traceCapacity <= 0 {
 		traceCapacity = DefaultTraceCapacity
 	}
-	return &Runtime{reg: NewRegistry(), tracer: NewTracer(traceCapacity)}
+	return &Runtime{
+		reg:    NewRegistry(),
+		tracer: NewTracer(traceCapacity),
+		spans:  NewSpanSink(traceCapacity),
+	}
 }
 
 // Metrics returns the registry, or nil for a nil Runtime.
@@ -56,4 +63,31 @@ func (r *Runtime) Tracer() *Tracer {
 		return nil
 	}
 	return r.tracer
+}
+
+// Spans returns the span sink, or nil for a nil Runtime.
+func (r *Runtime) Spans() *SpanSink {
+	if r == nil {
+		return nil
+	}
+	return r.spans
+}
+
+// Flight returns the attached flight recorder, or nil when none is attached
+// (or for a nil Runtime).
+func (r *Runtime) Flight() *FlightRecorder {
+	if r == nil {
+		return nil
+	}
+	return r.flight
+}
+
+// AttachFlightRecorder wires fr into the runtime: accessible via Flight and
+// fed by the span sink.
+func (r *Runtime) AttachFlightRecorder(fr *FlightRecorder) {
+	if r == nil {
+		return
+	}
+	r.flight = fr
+	r.spans.AttachFlightRecorder(fr)
 }

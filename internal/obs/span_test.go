@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSpanTraceStructure(t *testing.T) {
+	s := NewSpanSink(64)
+	root := s.StartTrace("request")
+	root.SetAttr("class", 3)
+	child := root.Child("vote")
+	child.End()
+	id := root.Interval("queue_wait", 0.5, 1.5, nil)
+	if id == 0 {
+		t.Fatal("Interval returned id 0")
+	}
+	root.IntervalUnder(id, "forward", 0.6, 1.0, map[string]any{"version": "a"})
+	if got := s.Published(); got != 0 {
+		t.Fatalf("children published before root ended: %d", got)
+	}
+	root.End()
+
+	recs := s.Spans()
+	if len(recs) != 4 {
+		t.Fatalf("got %d spans, want 4", len(recs))
+	}
+	byKind := map[string]SpanRecord{}
+	for _, r := range recs {
+		if r.Trace != root.TraceID() {
+			t.Fatalf("span %q has trace %d, want %d", r.Kind, r.Trace, root.TraceID())
+		}
+		byKind[r.Kind] = r
+	}
+	if byKind["vote"].Parent != root.ID() {
+		t.Fatalf("vote parent = %d, want root %d", byKind["vote"].Parent, root.ID())
+	}
+	if byKind["forward"].Parent != byKind["queue_wait"].ID {
+		t.Fatal("IntervalUnder did not link forward under queue_wait")
+	}
+	if byKind["request"].Attrs["class"] != 3 {
+		t.Fatalf("root attrs = %v", byKind["request"].Attrs)
+	}
+	if d := byKind["queue_wait"].Duration(); d != 1.0 {
+		t.Fatalf("queue_wait duration = %v, want 1.0", d)
+	}
+	// The root is published last, so the whole trace went out in one batch.
+	if recs[len(recs)-1].Kind != "request" {
+		t.Fatalf("last published span is %q, want request", recs[len(recs)-1].Kind)
+	}
+}
+
+func TestSpanEndIdempotent(t *testing.T) {
+	s := NewSpanSink(8)
+	sp := s.StartTrace("request")
+	sp.End()
+	sp.End()
+	if got := s.Published(); got != 1 {
+		t.Fatalf("double End published %d spans, want 1", got)
+	}
+}
+
+func TestSpanLateChildPublishesDirectly(t *testing.T) {
+	s := NewSpanSink(8)
+	root := s.StartTrace("request")
+	root.End()
+	root.Interval("reply", 1, 2, nil)
+	if got := s.Published(); got != 2 {
+		t.Fatalf("late child not published: %d spans", got)
+	}
+}
+
+func TestSpanNilSafety(t *testing.T) {
+	var s *SpanSink
+	if s.Now() != 0 || s.NewTraceID() != 0 || s.Published() != 0 || s.Dropped() != 0 {
+		t.Fatal("nil sink not zero-valued")
+	}
+	if s.Spans() != nil {
+		t.Fatal("nil sink returned spans")
+	}
+	s.SetWriter(&bytes.Buffer{})
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Emit(1, 0, "x", 0, 1, nil) != 0 {
+		t.Fatal("nil sink emitted")
+	}
+	sp := s.StartTrace("request")
+	if sp != nil {
+		t.Fatal("nil sink returned a live span")
+	}
+	// Every method of a nil span is a no-op.
+	sp.SetAttr("k", 1)
+	if sp.Child("c") != nil {
+		t.Fatal("nil span produced a child")
+	}
+	if sp.Interval("i", 0, 1, nil) != 0 || sp.IntervalUnder(7, "i", 0, 1, nil) != 0 {
+		t.Fatal("nil span recorded an interval")
+	}
+	sp.End()
+	sp.EndAt(5)
+	if sp.TraceID() != 0 || sp.ID() != 0 {
+		t.Fatal("nil span has ids")
+	}
+}
+
+func TestSpanRingEviction(t *testing.T) {
+	s := NewSpanSink(2)
+	for i := 0; i < 5; i++ {
+		s.Emit(1, 0, "x", float64(i), float64(i)+1, nil)
+	}
+	if got := s.Published(); got != 5 {
+		t.Fatalf("published %d, want 5", got)
+	}
+	if got := s.Dropped(); got != 3 {
+		t.Fatalf("dropped %d, want 3", got)
+	}
+	recs := s.Spans()
+	if len(recs) != 2 || recs[0].Start != 3 || recs[1].Start != 4 {
+		t.Fatalf("ring retained %v", recs)
+	}
+}
+
+func TestSpanJSONLRoundTrip(t *testing.T) {
+	s := NewSpanSink(16)
+	var buf bytes.Buffer
+	s.SetWriter(&buf)
+	root := s.StartTrace("request")
+	root.Child("vote").End()
+	root.End()
+	s.Emit(9, 0, "rejuvenation", 1, 2, map[string]any{"version": "b"})
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != 3 {
+		t.Fatalf("wrote %d lines, want 3", lines)
+	}
+	recs, err := ReadSpans(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("read %d spans, want 3", len(recs))
+	}
+	last := recs[2]
+	if last.Kind != "rejuvenation" || last.Trace != 9 || last.Attrs["version"] != "b" {
+		t.Fatalf("round-trip mangled record: %+v", last)
+	}
+}
+
+func TestSpanIDsUnique(t *testing.T) {
+	s := NewSpanSink(64)
+	seen := map[uint64]bool{}
+	for i := 0; i < 16; i++ {
+		sp := s.StartTrace("request")
+		c := sp.Child("c")
+		for _, id := range []uint64{sp.ID(), c.ID()} {
+			if id == 0 || seen[id] {
+				t.Fatalf("duplicate or zero span id %d", id)
+			}
+			seen[id] = true
+		}
+		c.End()
+		sp.End()
+	}
+}

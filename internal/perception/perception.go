@@ -424,6 +424,16 @@ func (p *Pipeline) Instrument(reg *obs.Registry, tracer *obs.Tracer) {
 	p.perceiveSkips = reg.Counter(MetricPerceiveSkips)
 }
 
+// InstrumentObs is Instrument taking a full obs.Runtime: beyond metrics and
+// events, the underlying system also emits module_state / rejuvenation /
+// divergence spans in simulated seconds and fires the runtime's flight
+// recorder around compromises, divergences and rejuvenations
+// (see core.System.InstrumentObs). A nil Runtime detaches telemetry.
+func (p *Pipeline) InstrumentObs(rt *obs.Runtime) {
+	p.Instrument(rt.Metrics(), rt.Tracer())
+	p.sys.InstrumentObs(rt)
+}
+
 var _ drivesim.PerceptionSystem = (*Pipeline)(nil)
 
 // NewPipeline builds an n-version detection pipeline (n >= 1) with the

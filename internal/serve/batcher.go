@@ -61,6 +61,8 @@ func (s *Server) collect(first *request) []*request {
 
 // dispatch runs one batch end to end: stack → fan out → gather → vote.
 func (s *Server) dispatch(batch []*request) {
+	sink := s.m.spans // nil when tracing is disabled
+	tCollected := sink.Now()
 	images := make([]*tensor.Tensor, len(batch))
 	for i, req := range batch {
 		images[i] = req.image
@@ -83,6 +85,10 @@ func (s *Server) dispatch(batch []*request) {
 	// deadline passes; late answers land in the buffered channel and are
 	// discarded, so no worker ever blocks.
 	preds := make([][]int, len(s.pools))
+	var fwd []versionAnswer // successful answers with forward timings
+	if sink != nil {
+		fwd = make([]versionAnswer, 0, submitted)
+	}
 	deadline := batch[0].deadline
 	for _, req := range batch[1:] {
 		if req.deadline.Before(deadline) {
@@ -98,9 +104,35 @@ gather:
 			got++
 			if ans.err == nil {
 				preds[ans.version] = ans.preds
+				if sink != nil {
+					fwd = append(fwd, ans)
+				}
 			}
 		case <-timer.C:
 			break gather
+		}
+	}
+
+	if sink != nil {
+		// Back-fill the batch-level stages into every member request's
+		// trace: the wall intervals are shared (the work happened once for
+		// the whole batch) but each trace gets its own records, so a single
+		// trace id reconstructs the full waterfall.
+		tGathered := sink.Now()
+		battrs := map[string]any{"batch_size": len(batch)}
+		fattrs := make([]map[string]any, len(fwd))
+		for i, ans := range fwd {
+			fattrs[i] = map[string]any{"version": s.pools[ans.version].name}
+		}
+		for _, req := range batch {
+			if req.span == nil {
+				continue
+			}
+			req.span.Interval("queue_wait", req.tq, tCollected, nil)
+			bid := req.span.Interval("batch", tCollected, tGathered, battrs)
+			for i, ans := range fwd {
+				req.span.IntervalUnder(bid, "forward", ans.start, ans.end, fattrs[i])
+			}
 		}
 	}
 	s.vote(batch, preds)
@@ -112,8 +144,10 @@ gather:
 // proposal (in fixed version order, so responses are deterministic), and
 // only a total absence of proposals fails the request.
 func (s *Server) vote(batch []*request, preds [][]int) {
+	sink := s.m.spans
 	proposals := make([]core.Proposal[int], 0, len(s.pools))
 	for i, req := range batch {
+		tVote := sink.Now()
 		proposals = proposals[:0]
 		for v, p := range preds {
 			if p != nil {
@@ -152,6 +186,12 @@ func (s *Server) vote(batch []*request, preds [][]int) {
 			res = Result{Err: ErrNoProposals, Reason: dec.Reason}
 		}
 
+		if req.span != nil {
+			req.span.Interval("vote", tVote, sink.Now(), map[string]any{
+				"agreeing": dec.Agreeing, "proposals": dec.Proposals,
+			})
+		}
+
 		// Feed the reactive trigger: versions are judged against the voted
 		// output only when a real majority existed.
 		if !dec.Skipped {
@@ -166,7 +206,9 @@ func (s *Server) vote(batch []*request, preds [][]int) {
 	}
 }
 
-// finish completes one request: metrics, then exactly one send on done.
+// finish completes one request: metrics, then exactly one send on done, then
+// the request's trace goes out (the batcher still owns the span — the waiting
+// client only ever reads the done channel).
 func (s *Server) finish(req *request, res Result) {
 	s.m.requests.Inc()
 	if res.Err != nil {
@@ -177,7 +219,22 @@ func (s *Server) finish(req *request, res Result) {
 		}
 		s.m.latency.Observe(time.Since(req.enqueued).Seconds())
 	}
+	if req.span == nil {
+		req.done <- res
+		return
+	}
+	sink := s.m.spans
+	tReply := sink.Now()
 	req.done <- res
+	req.span.Interval("reply", tReply, sink.Now(), nil)
+	req.span.SetAttr("class", res.Class)
+	if res.Degraded {
+		req.span.SetAttr("degraded", true)
+	}
+	if res.Err != nil {
+		req.span.SetAttr("error", res.Err.Error())
+	}
+	req.span.End()
 }
 
 // fail completes a whole batch with one error (stacking failure).

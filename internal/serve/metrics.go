@@ -3,6 +3,7 @@ package serve
 import (
 	"time"
 
+	"mvml/internal/nn"
 	"mvml/internal/obs"
 )
 
@@ -21,14 +22,20 @@ type metrics struct {
 
 	reg     *obs.Registry
 	tracer  *obs.Tracer
+	spans   *obs.SpanSink
+	flight  *obs.FlightRecorder
+	profile bool
 	started time.Time
 }
 
-func newMetrics(rt *obs.Runtime) *metrics {
+func newMetrics(rt *obs.Runtime, profile bool) *metrics {
 	m := &metrics{started: time.Now()}
 	if rt != nil {
 		m.reg = rt.Metrics()
 		m.tracer = rt.Tracer()
+		m.spans = rt.Spans()
+		m.flight = rt.Flight()
+		m.profile = profile
 	}
 	r := m.reg // nil registry hands out nil (no-op) handles
 	r.Help("mvserve_queue_depth", "Requests waiting in the admission queue.")
@@ -41,6 +48,11 @@ func newMetrics(rt *obs.Runtime) *metrics {
 	r.Help("mvserve_batches_total", "Micro-batches dispatched to the version pools.")
 	r.Help("mvserve_rejuvenations_total", "Completed rejuvenations by trigger kind.")
 	r.Help("mvserve_divergence_total", "Decided requests in which a version disagreed with the voted output.")
+	if m.profile {
+		r.Help("mvserve_layer_seconds", "Wall time of one layer dispatch on the batched inference path.")
+		r.Help("mvserve_gemm_dispatch_total", "GEMM kernels issued by the batched inference path.")
+		r.Help("mvserve_gemm_bytes_total", "Bytes moved by inference GEMMs (operands plus outputs, float32).")
+	}
 
 	m.queueDepth = r.Gauge("mvserve_queue_depth")
 	m.batchSize = r.Histogram("mvserve_batch_size", obs.LinearBuckets(1, 1, 16))
@@ -66,4 +78,65 @@ func (m *metrics) divergence(version string) *obs.Counter {
 // trace emits a lifecycle event stamped with seconds since server start.
 func (m *metrics) trace(typ string, attrs map[string]any) {
 	m.tracer.Emit(time.Since(m.started).Seconds(), typ, attrs)
+}
+
+// incident fires the flight recorder (a no-op when none is attached): the
+// window around reason is captured into a standalone incident file.
+func (m *metrics) incident(reason string, attrs map[string]any) {
+	m.flight.Trigger(reason, attrs)
+}
+
+// layerProfiler adapts the obs registry to nn.ForwardProfiler for one
+// version. Each worker goroutine gets its own instance (series handles are
+// cached per layer without locking), while the underlying counters and
+// histograms are shared and concurrency-safe.
+type layerProfiler struct {
+	m       *metrics
+	version string
+	seconds map[string]*obs.Histogram
+	gemms   map[string]*obs.Counter
+	bytes   map[string]*obs.Counter
+}
+
+// layerProfiler returns a fresh per-worker profiler for the named version,
+// or nil when layer profiling is disabled.
+func (m *metrics) layerProfiler(version string) nn.ForwardProfiler {
+	if m.reg == nil || !m.profile {
+		return nil
+	}
+	return &layerProfiler{
+		m:       m,
+		version: version,
+		seconds: make(map[string]*obs.Histogram),
+		gemms:   make(map[string]*obs.Counter),
+		bytes:   make(map[string]*obs.Counter),
+	}
+}
+
+// ObserveLayer implements nn.ForwardProfiler.
+func (lp *layerProfiler) ObserveLayer(layer string, seconds float64, batch int) {
+	h := lp.seconds[layer]
+	if h == nil {
+		h = lp.m.reg.Histogram("mvserve_layer_seconds", obs.LatencyBuckets(),
+			"version", lp.version, "layer", layer)
+		lp.seconds[layer] = h
+	}
+	h.Observe(seconds)
+}
+
+// ObserveGemm implements nn.ForwardProfiler. The byte volume counts both
+// operands and the output at float32 width: 4·(m·k + k·n + m·n).
+func (lp *layerProfiler) ObserveGemm(layer string, m, n, k int) {
+	c := lp.gemms[layer]
+	if c == nil {
+		c = lp.m.reg.Counter("mvserve_gemm_dispatch_total", "version", lp.version, "layer", layer)
+		lp.gemms[layer] = c
+	}
+	c.Inc()
+	b := lp.bytes[layer]
+	if b == nil {
+		b = lp.m.reg.Counter("mvserve_gemm_bytes_total", "version", lp.version, "layer", layer)
+		lp.bytes[layer] = b
+	}
+	b.Add(uint64(4 * (m*k + k*n + m*n)))
 }

@@ -47,6 +47,10 @@ type versionAnswer struct {
 	version int
 	preds   []int
 	err     error
+	// start and end bracket the forward pass on the span sink's clock; both
+	// zero when tracing is disabled. The batcher back-fills them as
+	// "forward" intervals into every member request's trace.
+	start, end float64
 }
 
 // pool runs one version: a set of workers, each owning a private replica
@@ -115,9 +119,18 @@ func (p *pool) run(v *core.NNVersion) {
 	defer p.wg.Done()
 	ar := nn.NewInferenceArena()
 	ar.GemmWorkers = p.gemmWorkers
+	ar.Profiler = p.m.layerProfiler(p.name)
+	sink := p.m.spans
 	for job := range p.jobs {
-		preds, err := v.Network().PredictBatchArena(job.batch, ar, nil)
-		job.out <- versionAnswer{version: p.index, preds: preds, err: err}
+		ans := versionAnswer{version: p.index}
+		if sink != nil {
+			ans.start = sink.Now()
+		}
+		ans.preds, ans.err = v.Network().PredictBatchArena(job.batch, ar, nil)
+		if sink != nil {
+			ans.end = sink.Now()
+		}
+		job.out <- ans
 		p.finishJob()
 	}
 }

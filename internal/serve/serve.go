@@ -88,6 +88,12 @@ type Config struct {
 	// identical for every value. <= 1 keeps each worker single-threaded,
 	// which is usually right when WorkersPerVersion already saturates cores.
 	GemmWorkers int
+	// ProfileLayers enables the per-layer inference profiler: every layer
+	// dispatch is timed and every GEMM's shape and byte volume is counted
+	// into the obs registry (mvserve_layer_seconds, mvserve_gemm_*). Off by
+	// default — profiling is observational and never changes answers, but
+	// the per-layer clock reads cost a few percent of inference throughput.
+	ProfileLayers bool
 	// NewNetwork overrides how a version's network is built (tests use
 	// small identical networks). nil selects the three small classifier
 	// architectures from internal/nn in round-robin order.
@@ -188,6 +194,14 @@ type request struct {
 	enqueued time.Time
 	deadline time.Time
 	done     chan Result // buffered(1); exactly one send
+
+	// span is the request's trace root (nil when tracing is disabled). It is
+	// owned by the submitting goroutine until the request enters the queue;
+	// the channel handoff then transfers ownership to the batcher, which
+	// back-fills the stage intervals and ends it.
+	span *obs.Span
+	// tq is the queue-wait start on the span sink's clock.
+	tq float64
 }
 
 // Server is the serving subsystem. Create with New, stop with Close.
@@ -235,7 +249,7 @@ func New(cfg Config, rt *obs.Runtime) (*Server, error) {
 	s := &Server{
 		cfg:       cfg,
 		voter:     core.NewEqualityVoter[int](),
-		m:         newMetrics(rt),
+		m:         newMetrics(rt, cfg.ProfileLayers),
 		queue:     make(chan *request, cfg.QueueDepth),
 		stop:      make(chan struct{}),
 		startedAt: time.Now(),
@@ -330,8 +344,19 @@ func (s *Server) submit(img *tensor.Tensor) (*request, error) {
 	if s.closed.Load() {
 		return nil, ErrClosed
 	}
+	// sink is nil when tracing is disabled; every span call below is then a
+	// no-op and t0 is never read.
+	sink := s.m.spans
+	var sp *obs.Span
+	var t0 float64
+	if sink != nil {
+		sp = sink.StartTrace("request")
+		t0 = sink.Now()
+	}
 	want := nn.InputChannels * nn.InputSize * nn.InputSize
 	if img == nil || img.Len() != want {
+		sp.SetAttr("error", "bad_image")
+		sp.End()
 		return nil, fmt.Errorf("serve: image must have %d values", want)
 	}
 	now := time.Now()
@@ -341,11 +366,21 @@ func (s *Server) submit(img *tensor.Tensor) (*request, error) {
 		deadline: now.Add(s.cfg.RequestTimeout),
 		done:     make(chan Result, 1),
 	}
+	if sink != nil {
+		// All span writes happen before the channel send: the moment the
+		// request enters the queue the batcher owns it (and its span), so
+		// the admission interval closes here and queue wait starts.
+		req.span = sp
+		req.tq = sink.Now()
+		sp.Interval("admission", t0, req.tq, nil)
+	}
 	select {
 	case s.queue <- req:
 		s.m.queueDepth.Set(float64(s.depth.Add(1)))
 		return req, nil
 	default:
+		sp.SetAttr("error", "queue_full")
+		sp.End()
 		s.m.rejected.Inc()
 		return nil, ErrQueueFull
 	}
@@ -363,16 +398,25 @@ func (s *Server) Rejuvenate(v int, kind string) error {
 	s.rejuvMu.Lock()
 	defer s.rejuvMu.Unlock()
 	start := time.Now()
+	t0 := s.m.spans.Now()
 	err = p.withQuiesced(func(nv *core.NNVersion) error { return nv.Restore() })
 	p.resetDivergence()
 	if err != nil {
 		return fmt.Errorf("serve: rejuvenating %s: %w", p.name, err)
 	}
-	s.m.rejuvenations(kind).Inc()
-	s.m.trace("rejuvenation", map[string]any{
+	attrs := map[string]any{
 		"version": p.name, "kind": kind,
 		"drain_ms": float64(time.Since(start)) / float64(time.Millisecond),
-	})
+	}
+	if sink := s.m.spans; sink != nil {
+		// Rejuvenation is its own single-span trace covering drain → restore
+		// → reinstate; request traces proceed concurrently on the other
+		// versions.
+		sink.Emit(sink.NewTraceID(), 0, "rejuvenation", t0, sink.Now(), attrs)
+	}
+	s.m.rejuvenations(kind).Inc()
+	s.m.trace("rejuvenation", attrs)
+	s.m.incident("rejuvenation_"+kind, attrs)
 	return nil
 }
 
@@ -406,6 +450,7 @@ func (s *Server) Compromise(v int) error {
 		return fmt.Errorf("serve: compromising %s: %w", p.name, err)
 	}
 	s.m.trace("compromise", map[string]any{"version": p.name})
+	s.m.incident("compromise", map[string]any{"version": p.name})
 	return nil
 }
 
@@ -449,6 +494,8 @@ func (s *Server) Close() {
 		case req := <-s.queue:
 			s.depth.Add(-1)
 			req.done <- Result{Err: ErrClosed}
+			req.span.SetAttr("error", "closed")
+			req.span.End()
 		default:
 			s.m.queueDepth.Set(float64(s.depth.Load()))
 			return
@@ -490,6 +537,9 @@ func (s *Server) maybeReact() {
 			continue
 		}
 		if s.reactivePending.CompareAndSwap(false, true) {
+			s.m.incident("divergence", map[string]any{
+				"version": p.name, "rate": p.divergenceRate(),
+			})
 			go func(v int) {
 				defer s.reactivePending.Store(false)
 				_ = s.Rejuvenate(v, RejuvReactive)

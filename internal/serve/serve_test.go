@@ -86,12 +86,21 @@ func TestClassifyRejectsBadImage(t *testing.T) {
 }
 
 // TestResponsesUnchangedByInstrumentation is the determinism guarantee the
-// telemetry layer promises: the same request sequence against an
-// instrumented and an uninstrumented server yields identical answers.
+// telemetry layer promises: the same request sequence against a fully
+// instrumented server (metrics, tracer, spans, per-layer profiler AND an
+// attached flight recorder) and an uninstrumented one yields identical
+// answers.
 func TestResponsesUnchangedByInstrumentation(t *testing.T) {
 	rt := obs.NewRuntime(64)
+	fr, err := obs.NewFlightRecorder(t.TempDir(), time.Minute, 0, rt.Spans(), rt.Tracer())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.AttachFlightRecorder(fr)
+	instCfg := testConfig()
+	instCfg.ProfileLayers = true
 	bare := newTestServer(t, testConfig(), nil)
-	inst := newTestServer(t, testConfig(), rt)
+	inst := newTestServer(t, instCfg, rt)
 
 	const n = 24
 	for i := 0; i < n; i++ {
@@ -115,10 +124,84 @@ func TestResponsesUnchangedByInstrumentation(t *testing.T) {
 	}
 	for _, want := range []string{
 		"mvserve_requests_total", "mvserve_batch_size", "mvserve_e2e_latency_seconds",
-		"mvserve_queue_depth",
+		"mvserve_queue_depth", "mvserve_layer_seconds", "mvserve_gemm_dispatch_total",
+		"mvserve_gemm_bytes_total",
 	} {
 		if !strings.Contains(b.String(), want) {
 			t.Fatalf("exposition missing %s:\n%s", want, b.String())
+		}
+	}
+}
+
+// TestRequestWaterfall submits traced requests and reconstructs one full
+// waterfall from the span ring: a request root with admission, queue_wait,
+// batch, vote and reply children, and one forward span per version parented
+// under the batch interval.
+func TestRequestWaterfall(t *testing.T) {
+	rt := obs.NewRuntime(256)
+	s := newTestServer(t, testConfig(), rt)
+
+	const n = 6
+	for i := 0; i < n; i++ {
+		if _, err := s.Classify(testImage(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	byTrace := map[uint64][]obs.SpanRecord{}
+	for _, r := range rt.Spans().Spans() {
+		byTrace[r.Trace] = append(byTrace[r.Trace], r)
+	}
+	if len(byTrace) != n {
+		t.Fatalf("got %d traces, want %d", len(byTrace), n)
+	}
+	for trace, recs := range byTrace {
+		var root obs.SpanRecord
+		byKind := map[string][]obs.SpanRecord{}
+		for _, r := range recs {
+			byKind[r.Kind] = append(byKind[r.Kind], r)
+			if r.Kind == "request" {
+				root = r
+			}
+		}
+		if root.ID == 0 {
+			t.Fatalf("trace %d has no request root", trace)
+		}
+		for _, kind := range []string{"admission", "queue_wait", "batch", "vote", "reply"} {
+			rs := byKind[kind]
+			if len(rs) != 1 {
+				t.Fatalf("trace %d: %d %q spans, want 1", trace, len(rs), kind)
+			}
+			if rs[0].Parent != root.ID {
+				t.Fatalf("trace %d: %q parented under %d, want root %d", trace, kind, rs[0].Parent, root.ID)
+			}
+			if rs[0].End < rs[0].Start {
+				t.Fatalf("trace %d: %q ends before it starts: %+v", trace, kind, rs[0])
+			}
+		}
+		batch := byKind["batch"][0]
+		forwards := byKind["forward"]
+		if len(forwards) != 3 {
+			t.Fatalf("trace %d: %d forward spans, want one per version", trace, len(forwards))
+		}
+		versions := map[any]bool{}
+		for _, f := range forwards {
+			if f.Parent != batch.ID {
+				t.Fatalf("trace %d: forward parented under %d, want batch %d", trace, f.Parent, batch.ID)
+			}
+			versions[f.Attrs["version"]] = true
+		}
+		if len(versions) != 3 {
+			t.Fatalf("trace %d: forward version attrs not distinct: %v", trace, versions)
+		}
+		if _, ok := root.Attrs["class"]; !ok {
+			t.Fatalf("trace %d: root missing class attr: %v", trace, root.Attrs)
+		}
+		// The stages tile the request in order.
+		adm, qw := byKind["admission"][0], byKind["queue_wait"][0]
+		if adm.End > qw.Start || qw.End > batch.Start {
+			t.Fatalf("trace %d: stages out of order: admission=%+v queue_wait=%+v batch=%+v",
+				trace, adm, qw, batch)
 		}
 	}
 }
