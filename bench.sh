@@ -11,18 +11,23 @@
 # with the number of CPUs actually available: on a single-core machine every
 # width runs at ~1.0x.
 #
-# Finally it measures the observability layer's serving overhead (the same
+# It then measures the observability layer's serving overhead (the same
 # sequential Classify loop with telemetry off vs the full stack of metrics,
 # spans, per-layer profiler and flight recorder) and emits BENCH_obs.json;
 # the acceptance bar is <5% end-to-end overhead.
 #
-# Usage: ./bench.sh [parallel-output.json] [gemm-output.json] [obs-output.json]
+# Finally it measures the streaming health engine's overhead on top of full
+# telemetry (detectors, SLO trackers and the online α estimator riding the
+# span firehose) and emits BENCH_health.json; same <5% acceptance bar.
+#
+# Usage: ./bench.sh [parallel.json] [gemm.json] [obs.json] [health.json]
 set -eu
 cd "$(dirname "$0")"
 
 out=${1:-BENCH_parallel.json}
 out2=${2:-BENCH_gemm.json}
 out3=${3:-BENCH_obs.json}
+out4=${4:-BENCH_health.json}
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
 
@@ -118,3 +123,25 @@ END {
 
 echo "==> wrote $out3"
 cat "$out3"
+
+echo "==> go test -bench BenchmarkServeHealth (health engine overhead, off vs on)"
+go test -run '^$' -bench '^BenchmarkServeHealth' -benchtime 300x -count 5 . | tee "$raw"
+
+# BenchmarkServeHealth/health=off-8   300   767125 ns/op
+# Same per-config-minimum treatment as the obs stage: interleaved repeats,
+# keep the fastest, so machine noise does not read as engine overhead.
+awk -v ncpu="$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)" '
+/^BenchmarkServeHealth\// {
+    split($1, parts, "/")
+    split(parts[2], tp, /[=-]/)
+    if (!(tp[2] in ns) || $3 < ns[tp[2]]) ns[tp[2]] = $3
+}
+END {
+    off = ns["off"]; on = ns["on"]
+    pct = off > 0 ? (on - off) * 100.0 / off : 0
+    printf "{\n  \"cpus\": %d,\n  \"health_off_ns_per_op\": %d,\n  \"health_on_ns_per_op\": %d,\n  \"overhead_pct\": %.2f,\n  \"acceptance_pct\": 5.0,\n  \"pass\": %s\n}\n", \
+        ncpu, off, on, pct, (pct < 5.0 ? "true" : "false")
+}' "$raw" > "$out4"
+
+echo "==> wrote $out4"
+cat "$out4"

@@ -1,0 +1,42 @@
+// Benchmarks for the streaming health engine's serving overhead: the same
+// sequential Classify loop against a fully instrumented server without the
+// engine and one with it riding the span firehose (detectors, SLO trackers
+// and the α estimator all live). Run with
+//
+//	go test -run '^$' -bench '^BenchmarkServeHealth' .
+//
+// or via `./bench.sh`, which parses the output into BENCH_health.json and
+// reports the relative overhead. The acceptance bar is <5% on the end-to-end
+// request path — the engine judges the firehose, it must not tax it.
+package mvml_test
+
+import (
+	"testing"
+
+	"mvml/internal/health"
+	"mvml/internal/obs"
+	"mvml/internal/serve"
+)
+
+func BenchmarkServeHealth(b *testing.B) {
+	run := func(b *testing.B, withEngine bool) {
+		rt := obs.NewRuntime(4096)
+		cfg := obsBenchConfig()
+		if withEngine {
+			cfg.Health = &health.Options{}
+		}
+		s, err := serve.New(cfg, rt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer s.Close()
+		benchServe(b, s)
+		if withEngine {
+			if v := s.Health().Snapshot(); v == nil || v.Spans == 0 {
+				b.Fatal("health engine observed no spans")
+			}
+		}
+	}
+	b.Run("health=off", func(b *testing.B) { run(b, false) })
+	b.Run("health=on", func(b *testing.B) { run(b, true) })
+}

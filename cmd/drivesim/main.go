@@ -21,6 +21,7 @@ import (
 	"os"
 
 	"mvml/internal/experiments"
+	"mvml/internal/health"
 	"mvml/internal/obs"
 	"mvml/internal/xrand"
 )
@@ -35,6 +36,8 @@ func main() {
 	seed := flag.Uint64("seed", 2025, "root random seed")
 	var tele obs.CLI
 	tele.RegisterFlags(flag.CommandLine)
+	var hcli health.CLI
+	hcli.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
 	tele.InfoLabel("workers", fmt.Sprintf("%d", *workers))
@@ -43,7 +46,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "drivesim:", err)
 		os.Exit(1)
 	}
+	hcli.Attach(rt)
 	runErr := run(*table, *mapPath, *ablation, *all, *runs, *workers, *seed, rt)
+	if err := hcli.Finish(); err != nil {
+		fmt.Fprintln(os.Stderr, "drivesim:", err)
+	}
 	if err := tele.Finish(map[string]any{
 		"command": "drivesim", "seed": *seed, "runs": *runs,
 	}); err != nil {

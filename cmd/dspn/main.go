@@ -17,6 +17,7 @@ import (
 	"os"
 	"sort"
 
+	"mvml/internal/health"
 	"mvml/internal/obs"
 	"mvml/internal/reliability"
 	"mvml/internal/xrand"
@@ -32,6 +33,8 @@ func main() {
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	var tele obs.CLI
 	tele.RegisterFlags(flag.CommandLine)
+	var hcli health.CLI
+	hcli.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
 	tele.InfoLabel("workers", fmt.Sprintf("%d", *workers))
@@ -40,7 +43,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "dspn:", err)
 		os.Exit(1)
 	}
+	hcli.Attach(rt)
 	runErr := run(*n, *interval, *erlang, *transient, *horizon, *workers, *seed, rt)
+	if err := hcli.Finish(); err != nil {
+		fmt.Fprintln(os.Stderr, "dspn:", err)
+	}
 	if err := tele.Finish(map[string]any{
 		"command": "dspn", "versions": *n, "seed": *seed,
 	}); err != nil {

@@ -17,6 +17,7 @@ import (
 	"os"
 
 	"mvml/internal/experiments"
+	"mvml/internal/health"
 	"mvml/internal/obs"
 	"mvml/internal/petri"
 	"mvml/internal/reliability"
@@ -37,6 +38,8 @@ func main() {
 	horizon := flag.Float64("horizon", 0, "DSPN simulation horizon in model seconds (0 = default)")
 	var tele obs.CLI
 	tele.RegisterFlags(flag.CommandLine)
+	var hcli health.CLI
+	hcli.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
 	tele.InfoLabel("workers", fmt.Sprintf("%d", *workers))
@@ -45,7 +48,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mvmlbench:", err)
 		os.Exit(1)
 	}
+	hcli.Attach(rt)
 	runErr := run(*table, *fig, *nversion, *diversity, *campaign, *inferbench, *all, *quick, *workers, *seed, *horizon, rt)
+	if err := hcli.Finish(); err != nil {
+		fmt.Fprintln(os.Stderr, "mvmlbench:", err)
+	}
 	if err := tele.Finish(map[string]any{
 		"command": "mvmlbench", "seed": *seed,
 	}); err != nil {

@@ -26,6 +26,7 @@ import (
 	"syscall"
 	"time"
 
+	"mvml/internal/health"
 	"mvml/internal/obs"
 	"mvml/internal/serve"
 )
@@ -108,16 +109,22 @@ func cmdServe(args []string) error {
 	loadCfg := serveFlags(fs)
 	var tele obs.CLI
 	tele.RegisterFlags(fs)
+	var hcli health.CLI
+	hcli.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	cfg := loadCfg()
+	cfg.Health = hcli.Options()
 	tele.InfoLabel("workers", fmt.Sprintf("%dx%d", cfg.Versions, cfg.WorkersPerVersion))
 	rt, err := tele.Start()
 	if err != nil {
 		return err
 	}
 	defer func() {
+		if err := hcli.Finish(); err != nil {
+			fmt.Fprintln(os.Stderr, "mvserve:", err)
+		}
 		if err := tele.Finish(map[string]any{"command": "serve"}); err != nil {
 			fmt.Fprintln(os.Stderr, "mvserve:", err)
 		}
@@ -128,6 +135,9 @@ func cmdServe(args []string) error {
 		return err
 	}
 	defer s.Close()
+	// The server owns the engine (verdicts drive rejuvenation); adopt it so
+	// the deferred Finish reports on it.
+	hcli.Observe(s.Health())
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -194,10 +204,13 @@ func cmdDemo(args []string) error {
 	jsonOut := fs.Bool("json", false, "print the report as JSON")
 	var tele obs.CLI
 	tele.RegisterFlags(fs)
+	var hcli health.CLI
+	hcli.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	cfg := loadCfg()
+	cfg.Health = hcli.Options()
 	tele.InfoLabel("workers", fmt.Sprintf("%dx%d", cfg.Versions, cfg.WorkersPerVersion))
 	rt, err := tele.Start()
 	if err != nil {
@@ -211,6 +224,7 @@ func cmdDemo(args []string) error {
 		return err
 	}
 	defer s.Close()
+	hcli.Observe(s.Health())
 
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -247,6 +261,9 @@ func cmdDemo(args []string) error {
 		degraded := rt.Metrics().Counter("mvserve_degraded_total")
 		fmt.Printf("rejuvenations: %d reactive, %d proactive; degraded answers: %d\n",
 			reactive.Value(), proactive.Value(), degraded.Value())
+	}
+	if err := hcli.Finish(); err != nil {
+		fmt.Fprintln(os.Stderr, "mvserve:", err)
 	}
 	if err := tele.Finish(map[string]any{"command": "demo", "report": rep}); err != nil {
 		fmt.Fprintln(os.Stderr, "mvserve:", err)

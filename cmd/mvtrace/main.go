@@ -11,6 +11,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -18,6 +19,7 @@ import (
 	"strings"
 
 	"mvml/internal/obs"
+	"mvml/internal/stats"
 )
 
 func main() {
@@ -67,11 +69,27 @@ func load(path string) ([]obs.SpanRecord, error) {
 	return recs, nil
 }
 
+// kindSummary is one span kind's latency digest, the JSON unit of
+// `mvtrace summary -format json` (consumed by CI and mvhealth without text
+// parsing).
+type kindSummary struct {
+	Kind  string  `json:"kind"`
+	Count int     `json:"count"`
+	P50   float64 `json:"p50_seconds"`
+	P95   float64 `json:"p95_seconds"`
+	P99   float64 `json:"p99_seconds"`
+	Max   float64 `json:"max_seconds"`
+}
+
 func cmdSummary(args []string) error {
 	fs := flag.NewFlagSet("mvtrace summary", flag.ExitOnError)
 	in := fs.String("in", "spans.jsonl", "span JSONL export to analyse")
+	format := fs.String("format", "text", "output format: text or json")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *format != "text" && *format != "json" {
+		return fmt.Errorf("unknown -format %q (want text or json)", *format)
 	}
 	recs, err := load(*in)
 	if err != nil {
@@ -99,14 +117,33 @@ func cmdSummary(args []string) error {
 	for _, r := range recs {
 		traces[r.Trace] = struct{}{}
 	}
-	fmt.Printf("%d spans · %d traces · %s\n\n", len(recs), len(traces), *in)
-	fmt.Printf("%-14s %8s %12s %12s %12s %12s\n", "kind", "count", "p50", "p95", "p99", "max")
+	rows := make([]kindSummary, 0, len(kinds))
 	for _, k := range kinds {
 		d := byKind[k]
 		sort.Float64s(d)
-		fmt.Printf("%-14s %8d %12s %12s %12s %12s\n", k, len(d),
-			dur(quantile(d, 0.50)), dur(quantile(d, 0.95)),
-			dur(quantile(d, 0.99)), dur(d[len(d)-1]))
+		rows = append(rows, kindSummary{
+			Kind: k, Count: len(d),
+			P50: quantile(d, 0.50), P95: quantile(d, 0.95),
+			P99: quantile(d, 0.99), Max: d[len(d)-1],
+		})
+	}
+
+	if *format == "json" {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(struct {
+			Spans  int           `json:"spans"`
+			Traces int           `json:"traces"`
+			Input  string        `json:"input"`
+			Kinds  []kindSummary `json:"kinds"`
+		}{len(recs), len(traces), *in, rows})
+	}
+
+	fmt.Printf("%d spans · %d traces · %s\n\n", len(recs), len(traces), *in)
+	fmt.Printf("%-14s %8s %12s %12s %12s %12s\n", "kind", "count", "p50", "p95", "p99", "max")
+	for _, row := range rows {
+		fmt.Printf("%-14s %8d %12s %12s %12s %12s\n", row.Kind, row.Count,
+			dur(row.P50), dur(row.P95), dur(row.P99), dur(row.Max))
 	}
 	return nil
 }
@@ -114,20 +151,10 @@ func cmdSummary(args []string) error {
 // quantile is the nearest-rank order statistic over a sorted (or about to be
 // sorted) sample — exact, not estimated, since the full export is in memory.
 func quantile(d []float64, q float64) float64 {
-	if len(d) == 0 {
-		return 0
-	}
 	if !sort.Float64sAreSorted(d) {
 		sort.Float64s(d)
 	}
-	idx := int(q*float64(len(d))+0.5) - 1
-	if idx < 0 {
-		idx = 0
-	}
-	if idx >= len(d) {
-		idx = len(d) - 1
-	}
-	return d[idx]
+	return stats.NearestRank(d, q)
 }
 
 // dur renders seconds with a unit fitting its magnitude.

@@ -587,9 +587,10 @@ func (s *System[I, O]) Infer(t float64, in I) (Decision[O], []Proposal[O], error
 	}
 	if s.tel != nil {
 		s.tel.voterOutcome(t, &decisionOutcome{
-			skipped:   d.Skipped,
-			reason:    d.Reason,
-			proposals: len(proposals),
+			skipped:    d.Skipped,
+			reason:     d.Reason,
+			proposals:  len(proposals),
+			dissenting: d.Dissenting,
 		})
 	}
 	return d, proposals, nil

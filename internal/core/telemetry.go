@@ -213,14 +213,22 @@ func (t *telemetry) voterOutcome(now float64, d *decisionOutcome) {
 		}
 		t.flight.Trigger("divergence", map[string]any{"reason": d.reason})
 	}
+	// A decided round with dissent is a minority disagreement — not a skip,
+	// so it gets its own span kind. The health engine's online α estimator
+	// counts these per-module error events and their pairwise overlaps.
+	if !d.skipped && len(d.dissenting) > 0 && t.spans != nil {
+		t.spans.Emit(t.trace, 0, "disagreement", now, now,
+			map[string]any{"diverged": d.dissenting, "proposals": d.proposals})
+	}
 }
 
 // decisionOutcome is the telemetry-relevant slice of a Decision, extracted
 // so telemetry stays non-generic.
 type decisionOutcome struct {
-	skipped   bool
-	reason    string
-	proposals int
+	skipped    bool
+	reason     string
+	proposals  int
+	dissenting []string
 }
 
 // Instrument attaches a metrics registry and/or event tracer to the system.

@@ -1,0 +1,122 @@
+package health
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"mvml/internal/obs"
+)
+
+// CLI is the shared command-line wiring for the health engine: each cmd/
+// binary registers the same -health* flags next to the obs.CLI telemetry
+// flags. The engine is opt-in — with -health unset, Options returns nil and
+// nothing is attached. mvserve hands the options to serve.Config (the
+// server owns its engine so verdicts can drive rejuvenation); the
+// simulation and bench binaries Attach the engine straight to the runtime's
+// span sink and write the final verdict with Finish.
+type CLI struct {
+	// Enable turns the engine on.
+	Enable bool
+	// LatencySLO is the per-request latency objective.
+	LatencySLO time.Duration
+	// Availability is the availability SLO target (fraction of requests
+	// answered at all).
+	Availability float64
+	// Window is the SLO error-budget window.
+	Window time.Duration
+	// ReportPath, when non-empty, receives the end-of-run health report as
+	// JSON (implies -health).
+	ReportPath string
+
+	engine *Engine
+}
+
+// RegisterFlags installs the health flags on fs.
+func (c *CLI) RegisterFlags(fs *flag.FlagSet) {
+	fs.BoolVar(&c.Enable, "health", false,
+		"attach the streaming health engine (SLO budgets, anomaly detection, online alpha) to the span stream")
+	fs.DurationVar(&c.LatencySLO, "health-latency-slo", 250*time.Millisecond,
+		"per-request latency objective feeding the latency SLO")
+	fs.Float64Var(&c.Availability, "health-availability", 0.99,
+		"availability SLO target in (0,1)")
+	fs.DurationVar(&c.Window, "health-window", 2*time.Minute,
+		"SLO error-budget window")
+	fs.StringVar(&c.ReportPath, "health-report", "",
+		"write the end-of-run health report here as JSON (implies -health)")
+}
+
+// Enabled reports whether any flag turns the engine on.
+func (c *CLI) Enabled() bool { return c.Enable || c.ReportPath != "" }
+
+// Options materialises the engine options from the flags, or nil when the
+// engine is disabled.
+func (c *CLI) Options() *Options {
+	if !c.Enabled() {
+		return nil
+	}
+	opts := DefaultOptions()
+	opts.LatencyObjective = c.LatencySLO.Seconds()
+	window := c.Window.Seconds()
+	for i := range opts.Objectives {
+		opts.Objectives[i].Window = window
+		if opts.Objectives[i].Name == "availability" {
+			opts.Objectives[i].Target = c.Availability
+		}
+	}
+	return &opts
+}
+
+// Attach builds the engine and subscribes it to rt's span sink and metric
+// registry — the path for binaries whose span stream is not the serving
+// subsystem (drivesim, dspn, mvmlbench). Returns nil (and attaches
+// nothing) when the engine or telemetry is disabled.
+func (c *CLI) Attach(rt *obs.Runtime) *Engine {
+	opts := c.Options()
+	if opts == nil || rt == nil || rt.Spans() == nil {
+		return nil
+	}
+	c.engine = NewEngine(*opts, rt.Metrics())
+	rt.Spans().Attach(c.engine)
+	return c.engine
+}
+
+// Observe adopts an engine created elsewhere (mvserve's server owns its
+// own), so Finish reports on it.
+func (c *CLI) Observe(e *Engine) {
+	if e != nil {
+		c.engine = e
+	}
+}
+
+// Finish writes the -health-report artifact and prints the final verdict.
+// Safe to call when the engine is disabled.
+func (c *CLI) Finish() error {
+	if c.engine == nil {
+		return nil
+	}
+	rep := c.engine.Report()
+	v := rep.Final
+	fmt.Fprintf(os.Stderr, "health: final verdict %s (%d components, %d incidents, alpha=%.4f over %d rounds)\n",
+		v.Overall, len(v.Components), len(rep.Incidents), rep.AlphaFinal, rep.RoundsDecided)
+	if c.ReportPath == "" {
+		return nil
+	}
+	f, err := os.Create(c.ReportPath)
+	if err != nil {
+		return fmt.Errorf("health: report: %w", err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	err = enc.Encode(rep)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("health: report: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "health: wrote health report to %s\n", c.ReportPath)
+	return nil
+}

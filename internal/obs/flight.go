@@ -25,6 +25,29 @@ type Incident struct {
 	FollowUps int          `json:"follow_ups,omitempty"`
 	Spans     []SpanRecord `json:"spans,omitempty"`
 	Events    []Event      `json:"events,omitempty"`
+
+	// seen tracks captured span ids so the pre-trigger snapshot and the
+	// publish stream never record the same span twice (a publish can race
+	// the trigger: its ring insert may land before the snapshot while its
+	// observer notification lands after the incident opened).
+	seen map[uint64]bool
+}
+
+// capture appends recs, skipping spans this incident already holds.
+func (inc *Incident) capture(recs []SpanRecord) {
+	if inc.seen == nil {
+		inc.seen = make(map[uint64]bool, len(recs))
+		for _, r := range inc.Spans {
+			inc.seen[r.ID] = true
+		}
+	}
+	for _, r := range recs {
+		if r.ID != 0 && inc.seen[r.ID] {
+			continue
+		}
+		inc.seen[r.ID] = true
+		inc.Spans = append(inc.Spans, r)
+	}
 }
 
 // DefaultPostWindow is the post-trigger capture horizon used when a
@@ -102,15 +125,18 @@ func (f *FlightRecorder) Trigger(reason string, attrs map[string]any) {
 	if f == nil {
 		return
 	}
-	// Snapshot the pre-window BEFORE taking f.mu: the sink calls observe
-	// with its own lock already released, but Spans() locks the sink, so the
-	// only safe lock order is sink → recorder.
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	// Snapshot the pre-window while holding f.mu, so that every span is
+	// captured exactly once: a concurrent publish either lands its ring
+	// insert before this snapshot (captured here; its pending ObserveSpans
+	// is deduplicated by Incident.capture) or after it (delivered through
+	// ObserveSpans once the incident is registered). Taking the sink's lock
+	// inside f.mu cannot deadlock — the sink never holds its own lock while
+	// notifying observers, so no path acquires sink.mu → f.mu.
 	spans := f.sink.Spans()
 	events := f.tracer.Events()
 	now := f.sink.Now()
-
-	f.mu.Lock()
-	defer f.mu.Unlock()
 	f.finalizeLocked(now)
 	for i, inc := range f.open {
 		if inc.Reason == reason && now < f.closeAt[i] {
@@ -135,10 +161,10 @@ func (f *FlightRecorder) Trigger(reason string, attrs map[string]any) {
 	f.closeAt = append(f.closeAt, now+f.post)
 }
 
-// observe receives every batch of published spans (called by the sink with
-// no sink lock held): open incidents absorb them, and incidents whose
-// post-window has passed are written out.
-func (f *FlightRecorder) observe(recs []SpanRecord, now float64) {
+// ObserveSpans implements SpanObserver: every batch of published spans
+// (delivered by the sink with no sink lock held) is absorbed by the open
+// incidents, and incidents whose post-window has passed are written out.
+func (f *FlightRecorder) ObserveSpans(recs []SpanRecord, now float64) {
 	if f == nil {
 		return
 	}
@@ -148,7 +174,7 @@ func (f *FlightRecorder) observe(recs []SpanRecord, now float64) {
 	// finalise it without being captured by it.
 	f.finalizeLocked(now)
 	for _, inc := range f.open {
-		inc.Spans = append(inc.Spans, recs...)
+		inc.capture(recs)
 	}
 }
 

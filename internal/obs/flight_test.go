@@ -2,8 +2,10 @@ package obs
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 	"time"
 )
@@ -121,10 +123,114 @@ func TestFlightRecorderFilenames(t *testing.T) {
 	}
 }
 
+// TestFlightRecorderConcurrentTriggers hammers the recorder with parallel
+// triggers and publishes and checks the invariants that keep a sustained
+// fault from flooding the disk: at most MaxIncidents incident files are
+// written; every trigger of a within-cap reason is accounted for either as
+// an incident or as a FollowUp fold; and no incident holds the same span
+// twice (the Trigger snapshot and the publish stream race on every span).
+func TestFlightRecorderConcurrentTriggers(t *testing.T) {
+	const (
+		maxIncidents = 4
+		goroutines   = 8
+		perGoroutine = 50
+	)
+	// A long post-window keeps every incident open for the whole test, so
+	// same-reason folding applies to all triggers after the first.
+	fr, sink, _ := newTestRecorder(t, time.Minute, maxIncidents)
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			reason := fmt.Sprintf("reason-%d", g%2) // two reasons, both within cap
+			for i := 0; i < perGoroutine; i++ {
+				fr.Trigger(reason, nil)
+				sink.Emit(uint64(g+1), 0, "work", float64(i), float64(i)+1, nil)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := fr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	files := fr.Incidents()
+	if len(files) > maxIncidents {
+		t.Fatalf("cap breached: %d incidents written, cap %d", len(files), maxIncidents)
+	}
+	// Both reasons fit under the cap, so every trigger must be accounted for:
+	// one incident per reason plus FollowUps covering the rest.
+	byReason := map[string]int{}
+	for _, path := range files {
+		inc := readIncident(t, path)
+		byReason[inc.Reason] += 1 + inc.FollowUps
+		seen := map[uint64]bool{}
+		for _, r := range inc.Spans {
+			if r.ID == 0 {
+				continue
+			}
+			if seen[r.ID] {
+				t.Fatalf("incident %d captured span %d twice", inc.ID, r.ID)
+			}
+			seen[r.ID] = true
+		}
+	}
+	total := goroutines * perGoroutine
+	if byReason["reason-0"]+byReason["reason-1"] != total {
+		t.Fatalf("lost triggers: %v (want %d total)", byReason, total)
+	}
+}
+
+// TestFlightRecorderExactlyOnceCapture races one trigger against a stream of
+// publishes and checks that, with a ring large enough to never evict, the
+// single open incident holds every span published before Close exactly once:
+// no span is lost in the gap between the pre-trigger snapshot and the
+// observer registration, and none is double-counted.
+func TestFlightRecorderExactlyOnceCapture(t *testing.T) {
+	const spans = 400
+	sink := NewSpanSink(spans + 16)
+	fr, err := NewFlightRecorder(t.TempDir(), time.Minute, 0, sink, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink.AttachFlightRecorder(fr)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < spans; i++ {
+			sink.Emit(1, 0, "work", float64(i), float64(i)+1, nil)
+		}
+	}()
+	fr.Trigger("race", nil) // concurrent with the publish stream
+	<-done
+	if err := fr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	files := fr.Incidents()
+	if len(files) != 1 {
+		t.Fatalf("incident files: %v", files)
+	}
+	inc := readIncident(t, files[0])
+	seen := map[uint64]bool{}
+	for _, r := range inc.Spans {
+		if seen[r.ID] {
+			t.Fatalf("span %d captured twice", r.ID)
+		}
+		seen[r.ID] = true
+	}
+	if len(seen) != spans {
+		t.Fatalf("captured %d distinct spans, want %d", len(seen), spans)
+	}
+}
+
 func TestFlightRecorderNilSafety(t *testing.T) {
 	var fr *FlightRecorder
 	fr.Trigger("x", nil)
-	fr.observe(nil, 0)
+	fr.ObserveSpans(nil, 0)
 	if fr.Dir() != "" || fr.Incidents() != nil {
 		t.Fatal("nil recorder not empty")
 	}

@@ -4,6 +4,8 @@ import (
 	"math"
 	"sort"
 	"sync/atomic"
+
+	"mvml/internal/stats"
 )
 
 // Histogram is a streaming histogram over fixed bucket upper bounds, safe
@@ -188,10 +190,8 @@ func (h *Histogram) BucketCounts() []uint64 {
 	return out
 }
 
-// Quantile estimates the q-quantile (q in [0,1]) by linear interpolation
-// within the containing bucket, assuming the first bucket starts at 0 (or at
-// the first bound when it is negative). Observations in the +Inf overflow
-// bucket are attributed to the largest finite bound. The estimate is then
+// Quantile estimates the q-quantile (q in [0,1]) via stats.BucketQuantile
+// (linear interpolation within the containing bucket). The estimate is then
 // clamped into [Min(), Max()], so a quantile can never lie outside the range
 // actually observed — bucket interpolation alone can overshoot when the
 // observations occupy only part of a bucket. Returns 0 when the histogram is
@@ -208,48 +208,7 @@ func (h *Histogram) Quantile(q float64) float64 {
 	if total == 0 {
 		return 0
 	}
-	if q < 0 {
-		q = 0
-	}
-	if q > 1 {
-		q = 1
-	}
-	rank := q * float64(total)
-	var cum float64
-	est := math.NaN()
-	for i, c := range counts {
-		prev := cum
-		cum += float64(c)
-		if cum < rank || c == 0 {
-			continue
-		}
-		if i == len(h.bounds) {
-			// Overflow bucket: the largest finite bound is the best
-			// available estimate (the clamp below pulls it up to Max).
-			if len(h.bounds) == 0 {
-				est = 0
-				break
-			}
-			est = h.bounds[len(h.bounds)-1]
-			break
-		}
-		upper := h.bounds[i]
-		lower := 0.0
-		if i > 0 {
-			lower = h.bounds[i-1]
-		} else if upper < 0 {
-			lower = upper
-		}
-		est = lower + (upper-lower)*(rank-prev)/float64(c)
-		break
-	}
-	if math.IsNaN(est) {
-		if len(h.bounds) == 0 {
-			est = 0
-		} else {
-			est = h.bounds[len(h.bounds)-1]
-		}
-	}
+	est := stats.BucketQuantile(h.bounds, counts, q)
 	lo := math.Float64frombits(h.min.Load())
 	hi := math.Float64frombits(h.max.Load())
 	if lo <= hi { // at least one comparable observation

@@ -37,10 +37,20 @@ type SpanRecord struct {
 // Duration returns End - Start in seconds.
 func (r SpanRecord) Duration() float64 { return r.End - r.Start }
 
+// SpanObserver receives every batch of spans a sink publishes, after the
+// sink's own lock is released. Observers must take their own locks; the sink
+// guarantees the lock order sink → observer (it never calls an observer with
+// its lock held), so an observer may snapshot the sink from inside
+// ObserveSpans. The flight recorder and the health engine are the two
+// in-tree observers.
+type SpanObserver interface {
+	ObserveSpans(recs []SpanRecord, now float64)
+}
+
 // SpanSink collects finished spans. It keeps the newest `capacity` records
 // in a ring buffer (the flight recorder's pre-trigger window), optionally
-// streams every record to a JSONL writer, and notifies an attached
-// FlightRecorder so open incidents can capture their post-trigger window.
+// streams every record to a JSONL writer, and notifies attached
+// SpanObservers (flight recorder, health engine) as records are published.
 //
 // A nil *SpanSink is a valid no-op handle: every method does nothing and
 // StartTrace returns a nil (no-op) Span, so instrumented code needs no
@@ -51,15 +61,15 @@ type SpanSink struct {
 	nextTrace atomic.Uint64
 	nextSpan  atomic.Uint64
 
-	mu      sync.Mutex
-	buf     []SpanRecord
-	start   int
-	size    int
-	total   uint64
-	dropped uint64
-	w       *bufio.Writer
-	werr    error
-	flight  *FlightRecorder
+	mu        sync.Mutex
+	buf       []SpanRecord
+	start     int
+	size      int
+	total     uint64
+	dropped   uint64
+	w         *bufio.Writer
+	werr      error
+	observers []SpanObserver
 }
 
 // NewSpanSink returns a sink retaining up to capacity finished spans
@@ -106,14 +116,23 @@ func (s *SpanSink) Flush() error {
 	return s.werr
 }
 
-// AttachFlightRecorder wires fr to observe every published span.
-func (s *SpanSink) AttachFlightRecorder(fr *FlightRecorder) {
-	if s == nil {
+// Attach registers o to receive every subsequently published span batch.
+// Attaching nil is a no-op.
+func (s *SpanSink) Attach(o SpanObserver) {
+	if s == nil || o == nil {
 		return
 	}
 	s.mu.Lock()
-	s.flight = fr
+	s.observers = append(s.observers, o)
 	s.mu.Unlock()
+}
+
+// AttachFlightRecorder wires fr to observe every published span.
+func (s *SpanSink) AttachFlightRecorder(fr *FlightRecorder) {
+	if fr == nil {
+		return
+	}
+	s.Attach(fr)
 }
 
 // Spans returns the retained records, oldest first.
@@ -203,11 +222,13 @@ func (s *SpanSink) publish(recs []SpanRecord) {
 			}
 		}
 	}
-	fr := s.flight
+	watchers := s.observers
 	s.mu.Unlock()
-	// Outside s.mu: the flight recorder takes its own lock and may snapshot
-	// the sink again (lock order is always sink → recorder, never nested).
-	fr.observe(recs, now)
+	// Outside s.mu: observers take their own locks and may snapshot the sink
+	// again (lock order is always sink → observer, never nested).
+	for _, o := range watchers {
+		o.ObserveSpans(recs, now)
+	}
 }
 
 // ReadSpans parses a JSON Lines span export back into records, the inverse

@@ -48,6 +48,22 @@ func DefaultParams() Params {
 	}
 }
 
+// WithAlpha returns a copy of the parameters with the dependency degree
+// replaced — how the health engine's *measured* online α is substituted for
+// the offline fault-injection estimate when projecting reliability
+// (cmd/mvhealth's projection and the ROADMAP's canary lifecycle both use
+// this). Values outside [0,1] are clamped.
+func (pr Params) WithAlpha(alpha float64) Params {
+	if alpha < 0 {
+		alpha = 0
+	}
+	if alpha > 1 {
+		alpha = 1
+	}
+	pr.Alpha = alpha
+	return pr
+}
+
 // Validate checks basic parameter sanity (probabilities in range, positive
 // times, p < p′).
 func (pr Params) Validate() error {

@@ -119,7 +119,12 @@ gather:
 		// the whole batch) but each trace gets its own records, so a single
 		// trace id reconstructs the full waterfall.
 		tGathered := sink.Now()
-		battrs := map[string]any{"batch_size": len(batch)}
+		// queue_depth samples the admission backlog once per batch — the
+		// stream the health engine's change-point detector watches.
+		battrs := map[string]any{
+			"batch_size":  len(batch),
+			"queue_depth": int(s.depth.Load()),
+		}
 		fattrs := make([]map[string]any, len(fwd))
 		for i, ans := range fwd {
 			fattrs[i] = map[string]any{"version": s.pools[ans.version].name}
@@ -187,9 +192,32 @@ func (s *Server) vote(batch []*request, preds [][]int) {
 		}
 
 		if req.span != nil {
-			req.span.Interval("vote", tVote, sink.Now(), map[string]any{
+			// voters/diverged give the health engine the per-round
+			// disagreement picture: which versions answered, and which of
+			// them contradicted the voted output (the online α estimator's
+			// simultaneous-error signal).
+			vattrs := map[string]any{
 				"agreeing": dec.Agreeing, "proposals": dec.Proposals,
-			})
+			}
+			if dec.Skipped {
+				vattrs["skipped"] = true
+			}
+			voters := make([]string, 0, len(s.pools))
+			var diverged []string
+			for v, p := range preds {
+				if p == nil {
+					continue
+				}
+				voters = append(voters, s.pools[v].name)
+				if !dec.Skipped && p[i] != dec.Value {
+					diverged = append(diverged, s.pools[v].name)
+				}
+			}
+			vattrs["voters"] = voters
+			if len(diverged) > 0 {
+				vattrs["diverged"] = diverged
+			}
+			req.span.Interval("vote", tVote, sink.Now(), vattrs)
 		}
 
 		// Feed the reactive trigger: versions are judged against the voted

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"time"
 
+	"mvml/internal/health"
 	"mvml/internal/nn"
 	"mvml/internal/signs"
 	"mvml/internal/tensor"
@@ -38,6 +39,9 @@ type healthResponse struct {
 	Status     string          `json:"status"`
 	QueueDepth int             `json:"queue_depth"`
 	Versions   []VersionStatus `json:"versions"`
+	// Health carries the streaming health engine's verdict (components,
+	// SLO budgets, online α) when the engine is enabled.
+	Health *health.Verdict `json:"health,omitempty"`
 }
 
 // adminRequest is the JSON body of the /admin endpoints.
@@ -131,11 +135,16 @@ func (req *ClassifyRequest) image() (*tensor.Tensor, error) {
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	versions, depth := s.Status()
-	writeJSON(w, http.StatusOK, healthResponse{
+	resp := healthResponse{
 		Status:     "ok",
 		QueueDepth: depth,
 		Versions:   versions,
-	})
+	}
+	if v := s.health.Snapshot(); v != nil {
+		resp.Health = v
+		resp.Status = v.Overall.String()
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleRejuvenate(w http.ResponseWriter, r *http.Request) {

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"mvml/internal/signs"
+	"mvml/internal/stats"
 )
 
 // LoadConfig parameterises an open-loop load run: requests fire on a fixed
@@ -151,13 +152,10 @@ loop:
 	return &report, nil
 }
 
-// percentile reads the p-quantile from an ascending latency slice.
+// percentile reads the nearest-rank p-quantile from an ascending latency
+// slice (shared definition with mvtrace's summary).
 func percentile(sorted []time.Duration, p float64) time.Duration {
-	if len(sorted) == 0 {
-		return 0
-	}
-	idx := int(p * float64(len(sorted)-1))
-	return sorted[idx]
+	return stats.NearestRank(sorted, p)
 }
 
 func ptr[T any](v T) *T { return &v }

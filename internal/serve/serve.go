@@ -35,6 +35,7 @@ import (
 	"mvml/internal/core"
 	"mvml/internal/experiments"
 	"mvml/internal/faultinject"
+	"mvml/internal/health"
 	"mvml/internal/nn"
 	"mvml/internal/obs"
 	"mvml/internal/signs"
@@ -98,6 +99,14 @@ type Config struct {
 	// small identical networks). nil selects the three small classifier
 	// architectures from internal/nn in round-robin order.
 	NewNetwork func(version int, r *xrand.Rand) (*nn.Network, error)
+	// Health, when non-nil, attaches a streaming health engine to the span
+	// firehose: SLO error budgets, anomaly detectors and the online α
+	// estimator feed /healthz and the mv_health_* gauges, and the reactive
+	// rejuvenation trigger is driven (and suppressed) by health verdicts
+	// instead of the raw per-pool divergence counter. Requires a telemetry
+	// runtime with a span sink; the engine only observes published spans,
+	// so responses are bitwise-identical with it on or off.
+	Health *health.Options
 
 	// batchGate, when non-nil, makes the batcher wait for a token before
 	// collecting each batch — lets tests fill the admission queue
@@ -206,10 +215,11 @@ type request struct {
 
 // Server is the serving subsystem. Create with New, stop with Close.
 type Server struct {
-	cfg   Config
-	pools []*pool
-	voter core.Voter[int]
-	m     *metrics
+	cfg    Config
+	pools  []*pool
+	voter  core.Voter[int]
+	m      *metrics
+	health *health.Engine // nil when the health engine is disabled
 
 	queue chan *request
 	depth atomic.Int64 // live queue length, mirrored into the gauge
@@ -253,6 +263,21 @@ func New(cfg Config, rt *obs.Runtime) (*Server, error) {
 		queue:     make(chan *request, cfg.QueueDepth),
 		stop:      make(chan struct{}),
 		startedAt: time.Now(),
+	}
+	if cfg.Health != nil && s.m.spans != nil {
+		// The engine rides the span firehose: it sees every published span
+		// (votes, stages, rejuvenations) and nothing else, so enabling it
+		// cannot change a single response. Verdict-driven rejuvenation
+		// replaces the per-pool divergence counter in maybeReact.
+		opts := *cfg.Health
+		if opts.DivergenceWindow == 0 {
+			opts.DivergenceWindow = cfg.DivergenceWindow
+		}
+		if opts.DivergenceThreshold == 0 {
+			opts.DivergenceThreshold = cfg.DivergenceThreshold
+		}
+		s.health = health.NewEngine(opts, s.m.reg)
+		s.m.spans.Attach(s.health)
 	}
 
 	for v := 0; v < cfg.Versions; v++ {
@@ -478,6 +503,9 @@ func (s *Server) Status() (versions []VersionStatus, queueDepth int) {
 	return versions, int(s.depth.Load())
 }
 
+// Health returns the attached health engine (nil when disabled).
+func (s *Server) Health() *health.Engine { return s.health }
+
 // Close stops admission, lets the batcher finish queued work (failing
 // anything unservable with ErrClosed), and waits for all goroutines.
 // Idempotent.
@@ -528,12 +556,24 @@ func (s *Server) proactiveLoop() {
 	}
 }
 
-// maybeReact fires the reactive trigger for any version whose divergence
-// window exceeded the threshold. The rejuvenation runs on its own goroutine
-// so the batcher never blocks on a drain.
+// maybeReact fires the reactive trigger. With the health engine attached
+// the verdict decides: a version is rejuvenated when its divergence
+// component went critical (and its cooldown passed), and the whole trigger
+// is vetoed while the engine judges the queue to be collapsing — draining a
+// version under backpressure would amplify the incident. Without the
+// engine, the legacy per-pool divergence window decides. Either way the
+// rejuvenation runs on its own goroutine so the batcher never blocks on a
+// drain.
 func (s *Server) maybeReact() {
+	if s.health != nil && s.health.SuppressRejuvenation() {
+		return
+	}
 	for _, p := range s.pools {
-		if !p.shouldRejuvenate() {
+		if s.health != nil {
+			if !s.health.ShouldRejuvenate(p.name) {
+				continue
+			}
+		} else if !p.shouldRejuvenate() {
 			continue
 		}
 		if s.reactivePending.CompareAndSwap(false, true) {
