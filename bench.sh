@@ -20,7 +20,13 @@
 # telemetry (detectors, SLO trackers and the online α estimator riding the
 # span firehose) and emits BENCH_health.json; same <5% acceptance bar.
 #
-# Usage: ./bench.sh [parallel.json] [gemm.json] [obs.json] [health.json]
+# The fifth stage measures the gateway's routing overhead (direct Classify vs
+# the same server behind a single-shard gateway: hash lookup, health plan,
+# retry-budget and inflight bookkeeping) and emits BENCH_gateway.json; the
+# acceptance bar is <10% — looser than the telemetry bars because the gateway
+# is a real front tier, not a tap.
+#
+# Usage: ./bench.sh [parallel.json] [gemm.json] [obs.json] [health.json] [gateway.json]
 set -eu
 cd "$(dirname "$0")"
 
@@ -28,6 +34,7 @@ out=${1:-BENCH_parallel.json}
 out2=${2:-BENCH_gemm.json}
 out3=${3:-BENCH_obs.json}
 out4=${4:-BENCH_health.json}
+out5=${5:-BENCH_gateway.json}
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
 
@@ -145,3 +152,25 @@ END {
 
 echo "==> wrote $out4"
 cat "$out4"
+
+echo "==> go test -bench BenchmarkGateway (routing overhead, direct vs gateway)"
+go test -run '^$' -bench '^BenchmarkGateway' -benchtime 300x -count 5 . | tee "$raw"
+
+# BenchmarkGateway/path=direct-8   300   767125 ns/op
+# Same per-config-minimum treatment as the obs/health stages: interleaved
+# repeats, keep the fastest, so machine noise does not read as routing cost.
+awk -v ncpu="$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)" '
+/^BenchmarkGateway\// {
+    split($1, parts, "/")
+    split(parts[2], tp, /[=-]/)
+    if (!(tp[2] in ns) || $3 < ns[tp[2]]) ns[tp[2]] = $3
+}
+END {
+    direct = ns["direct"]; gw = ns["gateway"]
+    pct = direct > 0 ? (gw - direct) * 100.0 / direct : 0
+    printf "{\n  \"cpus\": %d,\n  \"direct_ns_per_op\": %d,\n  \"gateway_ns_per_op\": %d,\n  \"overhead_pct\": %.2f,\n  \"acceptance_pct\": 10.0,\n  \"pass\": %s\n}\n", \
+        ncpu, direct, gw, pct, (pct < 10.0 ? "true" : "false")
+}' "$raw" > "$out5"
+
+echo "==> wrote $out5"
+cat "$out5"

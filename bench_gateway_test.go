@@ -1,0 +1,75 @@
+// Benchmarks for the gateway's routing overhead: the same sequential
+// Classify loop against one server called directly and the same server
+// fronted by a single-shard gateway (hash lookup, health plan, retry-budget
+// bookkeeping, inflight accounting). Run with
+//
+//	go test -run '^$' -bench '^BenchmarkGateway' .
+//
+// or via `./bench.sh`, which parses the output into BENCH_gateway.json.
+// The acceptance bar is <10% on the end-to-end request path — looser than
+// the telemetry bar because the gateway is a real front tier, not a tap.
+package mvml_test
+
+import (
+	"testing"
+
+	"mvml/internal/gateway"
+	"mvml/internal/serve"
+	"mvml/internal/signs"
+	"mvml/internal/xrand"
+)
+
+// gatewayBenchServer reuses the obs-bench profile (lenet ensemble, one
+// worker per version, no micro-batching) so the two bench stages measure the
+// same serving path; only the front tier differs.
+func gatewayBenchServer(b *testing.B, label string) *serve.Server {
+	b.Helper()
+	cfg := obsBenchConfig()
+	cfg.ShardLabel = label
+	s, err := serve.New(cfg, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(s.Close)
+	return s
+}
+
+func BenchmarkGateway(b *testing.B) {
+	img := signs.Render(0, xrand.New(3), signs.DefaultConfig())
+
+	b.Run("path=direct", func(b *testing.B) {
+		s := gatewayBenchServer(b, "")
+		if _, err := s.Classify(img); err != nil { // warm the arenas
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Classify(img); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("path=gateway", func(b *testing.B) {
+		s := gatewayBenchServer(b, "shard-0")
+		sh, err := gateway.NewLocalShard(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gw := gateway.New(gateway.Config{}, nil)
+		defer gw.Close()
+		if err := gw.AddShard(sh); err != nil {
+			b.Fatal(err)
+		}
+		key := gateway.RouteKey(&serve.ClassifyRequest{Image: img.Data})
+		if _, _, err := gw.Classify(key, "bench", img); err != nil { // warm
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := gw.Classify(key, "bench", img); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

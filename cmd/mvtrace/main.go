@@ -73,7 +73,11 @@ func load(path string) ([]obs.SpanRecord, error) {
 // `mvtrace summary -format json` (consumed by CI and mvhealth without text
 // parsing).
 type kindSummary struct {
-	Kind  string  `json:"kind"`
+	Kind string `json:"kind"`
+	// Shard is set when the export carries multi-shard (gateway) spans:
+	// stages are then grouped per shard label, "-" for spans without one
+	// (the gateway's own route/shed/scale spans).
+	Shard string  `json:"shard,omitempty"`
 	Count int     `json:"count"`
 	P50   float64 `json:"p50_seconds"`
 	P95   float64 `json:"p95_seconds"`
@@ -96,21 +100,44 @@ func cmdSummary(args []string) error {
 		return err
 	}
 
-	byKind := map[string][]float64{}
+	// A single-server export groups by span kind alone; when any span carries
+	// a "shard" attribute (a gateway export over a shared sink) every stage is
+	// grouped per shard, so per-shard latency asymmetry — the signal the
+	// autoscaler and failover act on — stays visible in the summary.
+	type group struct{ kind, shard string }
+	byShard := false
 	for _, r := range recs {
-		byKind[r.Kind] = append(byKind[r.Kind], r.Duration())
+		if _, ok := r.Attrs["shard"]; ok {
+			byShard = true
+			break
+		}
 	}
-	kinds := make([]string, 0, len(byKind))
+	byKind := map[group][]float64{}
+	for _, r := range recs {
+		g := group{kind: r.Kind}
+		if byShard {
+			g.shard = "-"
+			if v, ok := r.Attrs["shard"]; ok {
+				g.shard = fmt.Sprint(v)
+			}
+		}
+		byKind[g] = append(byKind[g], r.Duration())
+	}
+	kinds := make([]group, 0, len(byKind))
 	for k := range byKind {
 		kinds = append(kinds, k)
 	}
-	// Widest stages first, so the table reads as a latency budget.
+	// Widest stages first, so the table reads as a latency budget; equal
+	// stages sort by kind then shard for stable output.
 	sort.Slice(kinds, func(i, j int) bool {
 		a, b := quantile(byKind[kinds[i]], 0.50), quantile(byKind[kinds[j]], 0.50)
 		if a != b {
 			return a > b
 		}
-		return kinds[i] < kinds[j]
+		if kinds[i].kind != kinds[j].kind {
+			return kinds[i].kind < kinds[j].kind
+		}
+		return kinds[i].shard < kinds[j].shard
 	})
 
 	traces := map[uint64]struct{}{}
@@ -122,7 +149,7 @@ func cmdSummary(args []string) error {
 		d := byKind[k]
 		sort.Float64s(d)
 		rows = append(rows, kindSummary{
-			Kind: k, Count: len(d),
+			Kind: k.kind, Shard: k.shard, Count: len(d),
 			P50: quantile(d, 0.50), P95: quantile(d, 0.95),
 			P99: quantile(d, 0.99), Max: d[len(d)-1],
 		})
@@ -140,6 +167,14 @@ func cmdSummary(args []string) error {
 	}
 
 	fmt.Printf("%d spans · %d traces · %s\n\n", len(recs), len(traces), *in)
+	if byShard {
+		fmt.Printf("%-14s %-10s %8s %12s %12s %12s %12s\n", "kind", "shard", "count", "p50", "p95", "p99", "max")
+		for _, row := range rows {
+			fmt.Printf("%-14s %-10s %8d %12s %12s %12s %12s\n", row.Kind, row.Shard, row.Count,
+				dur(row.P50), dur(row.P95), dur(row.P99), dur(row.Max))
+		}
+		return nil
+	}
 	fmt.Printf("%-14s %8s %12s %12s %12s %12s\n", "kind", "count", "p50", "p95", "p99", "max")
 	for _, row := range rows {
 		fmt.Printf("%-14s %8d %12s %12s %12s %12s\n", row.Kind, row.Count,

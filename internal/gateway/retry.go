@@ -1,0 +1,90 @@
+package gateway
+
+import "sync"
+
+// retryBudget is a per-client token bucket bounding retry amplification: each
+// first attempt deposits Ratio tokens (capped at Burst), each retry spends
+// one. A client whose requests mostly succeed accumulates budget for the
+// occasional failover; a client whose requests mostly fail burns through it
+// and degrades to single-attempt service — retries can then never multiply a
+// brown-out, which is exactly the retry-storm failure mode this guards
+// against.
+type retryBudget struct {
+	mu      sync.Mutex
+	ratio   float64
+	burst   float64
+	clients map[string]*bucket
+	max     int
+}
+
+type bucket struct {
+	tokens float64
+}
+
+// defaultClient is the bucket key for requests with no client identity; they
+// share one budget, so anonymous traffic cannot mint unlimited retries by
+// omitting the header.
+const defaultClient = "_anon"
+
+func newRetryBudget(ratio, burst float64, maxClients int) *retryBudget {
+	if ratio <= 0 {
+		ratio = 0.1
+	}
+	if burst <= 0 {
+		burst = 10
+	}
+	if maxClients <= 0 {
+		maxClients = 1024
+	}
+	return &retryBudget{
+		ratio:   ratio,
+		burst:   burst,
+		clients: make(map[string]*bucket),
+		max:     maxClients,
+	}
+}
+
+// deposit credits one first attempt for client.
+func (rb *retryBudget) deposit(client string) {
+	rb.mu.Lock()
+	defer rb.mu.Unlock()
+	b := rb.get(client)
+	b.tokens += rb.ratio
+	if b.tokens > rb.burst {
+		b.tokens = rb.burst
+	}
+}
+
+// spend consumes one retry token, reporting whether the retry is allowed.
+func (rb *retryBudget) spend(client string) bool {
+	rb.mu.Lock()
+	defer rb.mu.Unlock()
+	b := rb.get(client)
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// get resolves (or creates) a client's bucket. New clients start at full
+// burst — the first request a client ever sends should be allowed to fail
+// over. When the table is full, unknown clients fold into the shared
+// anonymous bucket instead of growing without bound.
+func (rb *retryBudget) get(client string) *bucket {
+	if client == "" {
+		client = defaultClient
+	}
+	if b, ok := rb.clients[client]; ok {
+		return b
+	}
+	if len(rb.clients) >= rb.max && client != defaultClient {
+		client = defaultClient
+		if b, ok := rb.clients[client]; ok {
+			return b
+		}
+	}
+	b := &bucket{tokens: rb.burst}
+	rb.clients[client] = b
+	return b
+}

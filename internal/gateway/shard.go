@@ -1,0 +1,123 @@
+package gateway
+
+import (
+	"sync/atomic"
+
+	"mvml/internal/health"
+	"mvml/internal/serve"
+	"mvml/internal/tensor"
+)
+
+// ShardClient is the gateway's view of one serving shard: enough to route
+// (Classify), to judge (Level, Draining) and to observe pressure (QueueDepth,
+// QueueCapacity). LocalShard implements it over an in-process *serve.Server;
+// an HTTP client implementing the same interface drops in when shards move
+// out of process.
+type ShardClient interface {
+	// ID is the shard's stable ring identity (its serve.Config.ShardLabel).
+	ID() string
+	// Classify answers one request on this shard.
+	Classify(img *tensor.Tensor) (serve.Result, error)
+	// Level is the shard's current overall health verdict. Implementations
+	// must be cheap (an atomic read) — the router consults it per attempt.
+	Level() health.Level
+	// Draining reports whether the shard is being retired: it still answers
+	// whatever reaches it, but new traffic should prefer its ring successor.
+	Draining() bool
+	// QueueDepth / QueueCapacity expose the shard's admission backlog — the
+	// autoscaler's primary pressure signal.
+	QueueDepth() int
+	QueueCapacity() int
+}
+
+// ShardControl extends ShardClient with the lifecycle operations the
+// autoscaler and the demo's failure injection need. The gateway only demands
+// ShardControl where it actually scales or drains; pure routing needs just
+// ShardClient.
+type ShardControl interface {
+	ShardClient
+	// Workers returns the current per-version worker-pool size.
+	Workers() int
+	// Resize sets the per-version worker-pool size (the autoscaler's
+	// grow/shrink lever).
+	Resize(perVersion int) error
+	// SetDraining flips the advisory drain flag.
+	SetDraining(v bool)
+	// Rejuvenate restores every version of the shard to pristine weights.
+	Rejuvenate(kind string) error
+	// Compromise fault-injects one version (demos and tests only).
+	Compromise(version int) error
+	// Close shuts the shard down.
+	Close()
+}
+
+// LocalShard adapts an in-process *serve.Server to ShardControl. Health
+// verdicts are pushed: the shard subscribes to its server's health engine and
+// caches the latest "overall" level in an atomic, so the router's per-attempt
+// Level() check costs one load — no lock shared with the engine's observe
+// path. Without a health engine the level pins at Healthy and routing relies
+// on queue-full shedding alone.
+type LocalShard struct {
+	srv   *serve.Server
+	level atomic.Int32
+}
+
+// NewLocalShard wraps srv. The server must have a non-empty ShardLabel (the
+// ring identity) — enforced here rather than discovered as a hash collision
+// later.
+func NewLocalShard(srv *serve.Server) (*LocalShard, error) {
+	if srv.ShardLabel() == "" {
+		return nil, errEmptyShardLabel
+	}
+	sh := &LocalShard{srv: srv}
+	if eng := srv.Health(); eng != nil {
+		sh.level.Store(int32(eng.OverallLevel()))
+		eng.Subscribe(func(tr health.Transition) {
+			if tr.Component == "overall" {
+				sh.level.Store(int32(tr.To))
+			}
+		})
+	}
+	return sh, nil
+}
+
+// Server exposes the wrapped server (demo wiring needs the raw handle).
+func (s *LocalShard) Server() *serve.Server { return s.srv }
+
+// ID implements ShardClient.
+func (s *LocalShard) ID() string { return s.srv.ShardLabel() }
+
+// Classify implements ShardClient.
+func (s *LocalShard) Classify(img *tensor.Tensor) (serve.Result, error) {
+	return s.srv.Classify(img)
+}
+
+// Level implements ShardClient.
+func (s *LocalShard) Level() health.Level { return health.Level(s.level.Load()) }
+
+// Draining implements ShardClient.
+func (s *LocalShard) Draining() bool { return s.srv.Draining() }
+
+// QueueDepth implements ShardClient.
+func (s *LocalShard) QueueDepth() int { return s.srv.QueueDepth() }
+
+// QueueCapacity implements ShardClient.
+func (s *LocalShard) QueueCapacity() int { return s.srv.QueueCapacity() }
+
+// Workers implements ShardControl.
+func (s *LocalShard) Workers() int { return s.srv.Workers() }
+
+// Resize implements ShardControl.
+func (s *LocalShard) Resize(perVersion int) error { return s.srv.ResizeWorkers(perVersion) }
+
+// SetDraining implements ShardControl.
+func (s *LocalShard) SetDraining(v bool) { s.srv.SetDraining(v) }
+
+// Rejuvenate implements ShardControl.
+func (s *LocalShard) Rejuvenate(kind string) error { return s.srv.RejuvenateAll(kind) }
+
+// Compromise implements ShardControl.
+func (s *LocalShard) Compromise(version int) error { return s.srv.Compromise(version) }
+
+// Close implements ShardControl.
+func (s *LocalShard) Close() { s.srv.Close() }

@@ -80,6 +80,12 @@ type Options struct {
 	CooldownSeconds float64
 	// MaxTimeline bounds the recorded verdict-transition log.
 	MaxTimeline int
+	// ShardFilter, when non-empty, restricts the engine to spans carrying a
+	// matching "shard" attribute. In a multi-shard deployment every shard's
+	// engine rides the same shared span sink; the filter is what keeps each
+	// engine's verdict about its own shard only. Empty observes everything
+	// (the single-server and replay default).
+	ShardFilter string
 }
 
 // DefaultObjectives returns the standard serving objectives: availability
@@ -227,6 +233,12 @@ type Engine struct {
 	reg        *obs.Registry
 	alphaGauge *obs.Gauge
 	sloGauges  map[string][3]*obs.Gauge // name → budget, burn short, burn long
+
+	// subs receive verdict transitions; pending buffers transitions recorded
+	// while e.mu is held so subscribers are always invoked outside the lock
+	// (they may call back into the engine's accessors).
+	subs    []func(Transition)
+	pending []Transition
 }
 
 // NewEngine builds an engine publishing mv_health_* gauges into reg (nil
@@ -353,12 +365,46 @@ func (e *Engine) rollup(t float64) {
 }
 
 func (e *Engine) record(tr Transition) {
+	if len(e.subs) > 0 {
+		e.pending = append(e.pending, tr)
+	}
 	if len(e.timeline) >= e.opts.MaxTimeline {
 		e.timelineTrunc++
 		return
 	}
 	e.timeline = append(e.timeline, tr)
 }
+
+// Subscribe registers fn to receive every subsequent verdict transition
+// (component level changes, including the "overall" rollup). Callbacks run
+// synchronously on the span-publishing goroutine but always outside the
+// engine's lock, so a subscriber may call the engine's accessors; it must
+// not block. A nil engine ignores the call.
+func (e *Engine) Subscribe(fn func(Transition)) {
+	if e == nil || fn == nil {
+		return
+	}
+	e.mu.Lock()
+	e.subs = append(e.subs, fn)
+	e.mu.Unlock()
+}
+
+// Level returns the named component's current verdict (Healthy when the
+// component is unknown or the engine is nil).
+func (e *Engine) Level(component string) Level {
+	if e == nil {
+		return Healthy
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if c := e.comps[component]; c != nil {
+		return c.level
+	}
+	return Healthy
+}
+
+// OverallLevel returns the process-level rollup verdict.
+func (e *Engine) OverallLevel() Level { return e.Level("overall") }
 
 // ObserveSpans implements obs.SpanObserver: the engine's single ingestion
 // path, shared by live serving and offline replay. The sink's now is
@@ -369,8 +415,10 @@ func (e *Engine) ObserveSpans(recs []obs.SpanRecord, _ float64) {
 		return
 	}
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	for i := range recs {
+		if e.opts.ShardFilter != "" && attrString(recs[i].Attrs["shard"]) != e.opts.ShardFilter {
+			continue
+		}
 		e.observeOne(&recs[i])
 	}
 	// Publish the continuous gauges once per batch.
@@ -382,6 +430,17 @@ func (e *Engine) ObserveSpans(recs []obs.SpanRecord, _ float64) {
 		g[0].Set(t.budgetRemaining(e.now))
 		g[1].Set(t.burnRate(e.now, t.obj.ShortWindow))
 		g[2].Set(t.burnRate(e.now, t.obj.LongWindow))
+	}
+	// Hand pending transitions to subscribers outside the lock; subs is
+	// append-only, so the slice snapshot stays valid after unlock.
+	fired := e.pending
+	e.pending = nil
+	subs := e.subs
+	e.mu.Unlock()
+	for _, tr := range fired {
+		for _, fn := range subs {
+			fn(tr)
+		}
 	}
 }
 

@@ -129,11 +129,17 @@ gather:
 		for i, ans := range fwd {
 			fattrs[i] = map[string]any{"version": s.pools[ans.version].name}
 		}
+		if s.m.shard != "" {
+			battrs["shard"] = s.m.shard
+			for _, fa := range fattrs {
+				fa["shard"] = s.m.shard
+			}
+		}
 		for _, req := range batch {
 			if req.span == nil {
 				continue
 			}
-			req.span.Interval("queue_wait", req.tq, tCollected, nil)
+			req.span.Interval("queue_wait", req.tq, tCollected, s.m.shardAttrs)
 			bid := req.span.Interval("batch", tCollected, tGathered, battrs)
 			for i, ans := range fwd {
 				req.span.IntervalUnder(bid, "forward", ans.start, ans.end, fattrs[i])
@@ -199,6 +205,9 @@ func (s *Server) vote(batch []*request, preds [][]int) {
 			vattrs := map[string]any{
 				"agreeing": dec.Agreeing, "proposals": dec.Proposals,
 			}
+			if s.m.shard != "" {
+				vattrs["shard"] = s.m.shard
+			}
 			if dec.Skipped {
 				vattrs["skipped"] = true
 			}
@@ -254,7 +263,7 @@ func (s *Server) finish(req *request, res Result) {
 	sink := s.m.spans
 	tReply := sink.Now()
 	req.done <- res
-	req.span.Interval("reply", tReply, sink.Now(), nil)
+	req.span.Interval("reply", tReply, sink.Now(), s.m.shardAttrs)
 	req.span.SetAttr("class", res.Class)
 	if res.Degraded {
 		req.span.SetAttr("degraded", true)

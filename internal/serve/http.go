@@ -82,7 +82,7 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad JSON: " + err.Error()})
 		return
 	}
-	img, err := req.image()
+	img, err := req.Tensor()
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
@@ -111,10 +111,11 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// image materialises the request's tensor: either the client's raw pixels or
+// Tensor materialises the request's image: either the client's raw pixels or
 // a server-rendered synthetic sign (deterministic in Class and Seed, which
-// makes load generation and determinism tests trivial).
-func (req *ClassifyRequest) image() (*tensor.Tensor, error) {
+// makes load generation and determinism tests trivial). Exported so the
+// gateway's HTTP layer decodes requests identically to a standalone server.
+func (req *ClassifyRequest) Tensor() (*tensor.Tensor, error) {
 	want := nn.InputChannels * nn.InputSize * nn.InputSize
 	switch {
 	case len(req.Image) > 0 && req.Class != nil:

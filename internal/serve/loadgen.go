@@ -27,6 +27,9 @@ type LoadConfig struct {
 	Timeout time.Duration
 	// Seed varies the classes requested.
 	Seed uint64
+	// ClientID, when non-empty, is sent as the X-Client-ID header on every
+	// request — the identity the gateway's per-client retry budgets key on.
+	ClientID string
 }
 
 // DefaultLoadConfig is a moderate smoke-load.
@@ -48,6 +51,10 @@ type LoadReport struct {
 	P90        time.Duration `json:"p90_ns"`
 	P99        time.Duration `json:"p99_ns"`
 	Max        time.Duration `json:"max_ns"`
+	// StatusCounts breaks every non-200 HTTP response down by status code,
+	// so gateway shed (429) and shard errors (503, ...) stay distinguishable
+	// in one report instead of lumping into the aggregate counters above.
+	StatusCounts map[int]int `json:"status_counts,omitempty"`
 }
 
 // String renders the report as the one-paragraph summary the CLI prints.
@@ -55,6 +62,18 @@ func (r *LoadReport) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "sent %d: %d ok, %d degraded, %d rejected (429), %d failed (5xx), %d transport errors\n",
 		r.Sent, r.OK, r.Degraded, r.Rejected, r.Failed, r.Errors)
+	if len(r.StatusCounts) > 0 {
+		codes := make([]int, 0, len(r.StatusCounts))
+		for c := range r.StatusCounts {
+			codes = append(codes, c)
+		}
+		sort.Ints(codes)
+		parts := make([]string, 0, len(codes))
+		for _, c := range codes {
+			parts = append(parts, fmt.Sprintf("%d×%d", c, r.StatusCounts[c]))
+		}
+		fmt.Fprintf(&b, "non-200 by status: %s\n", strings.Join(parts, ", "))
+	}
 	fmt.Fprintf(&b, "elapsed %v, throughput %.1f req/s\n", r.Elapsed.Round(time.Millisecond), r.Throughput)
 	fmt.Fprintf(&b, "latency p50 %v  p90 %v  p99 %v  max %v",
 		r.P50.Round(time.Microsecond), r.P90.Round(time.Microsecond),
@@ -64,7 +83,10 @@ func (r *LoadReport) String() string {
 
 // RunLoad drives baseURL's /v1/classify endpoint open-loop per cfg and
 // reports outcome counts, throughput and latency percentiles (computed over
-// answered requests).
+// answered requests). The schedule is deficit-corrected: each wakeup fires
+// however many requests the elapsed wall clock is owed, so a busy machine
+// that misses ticker ticks still offers the configured rate instead of
+// silently under-driving the target.
 func RunLoad(baseURL string, cfg LoadConfig) (*LoadReport, error) {
 	if cfg.Rate <= 0 || cfg.Duration <= 0 {
 		return nil, fmt.Errorf("serve: load rate %v and duration %v must be positive", cfg.Rate, cfg.Duration)
@@ -81,59 +103,83 @@ func RunLoad(baseURL string, cfg LoadConfig) (*LoadReport, error) {
 		report    LoadReport
 		latencies []time.Duration
 	)
+	report.StatusCounts = map[int]int{}
+	fire := func(n int) {
+		body, _ := json.Marshal(ClassifyRequest{
+			Class: ptr((n + int(cfg.Seed)) % signs.NumClasses),
+			Seed:  cfg.Seed + uint64(n),
+		})
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			t0 := time.Now()
+			req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+			if err == nil {
+				req.Header.Set("Content-Type", "application/json")
+				if cfg.ClientID != "" {
+					req.Header.Set("X-Client-ID", cfg.ClientID)
+				}
+			}
+			var resp *http.Response
+			if err == nil {
+				resp, err = client.Do(req)
+			}
+			lat := time.Since(t0)
+			mu.Lock()
+			defer mu.Unlock()
+			report.Sent++
+			if err != nil {
+				report.Errors++
+				return
+			}
+			var cr ClassifyResponse
+			decErr := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&cr)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				report.StatusCounts[resp.StatusCode]++
+			}
+			switch {
+			case resp.StatusCode == http.StatusOK && decErr == nil:
+				if cr.Degraded {
+					report.Degraded++
+				} else {
+					report.OK++
+				}
+				latencies = append(latencies, lat)
+			case resp.StatusCode == http.StatusTooManyRequests:
+				report.Rejected++
+			case resp.StatusCode >= 500:
+				report.Failed++
+			default:
+				report.Errors++
+			}
+		}()
+	}
+
 	interval := time.Duration(float64(time.Second) / cfg.Rate)
-	if interval <= 0 {
-		interval = time.Nanosecond
+	if interval < time.Millisecond {
+		interval = time.Millisecond // wake at most 1kHz; deficit catch-up covers the rest
 	}
 	start := time.Now()
 	ticker := time.NewTicker(interval)
 	defer ticker.Stop()
 	deadline := time.After(cfg.Duration)
 
+	total := int(cfg.Rate * cfg.Duration.Seconds())
 	n := 0
 loop:
-	for {
+	for n < total {
 		select {
 		case <-deadline:
 			break loop
 		case <-ticker.C:
-			body, _ := json.Marshal(ClassifyRequest{
-				Class: ptr((n + int(cfg.Seed)) % signs.NumClasses),
-				Seed:  cfg.Seed + uint64(n),
-			})
-			n++
-			wg.Add(1)
-			go func(body []byte) {
-				defer wg.Done()
-				t0 := time.Now()
-				resp, err := client.Post(url, "application/json", bytes.NewReader(body))
-				lat := time.Since(t0)
-				mu.Lock()
-				defer mu.Unlock()
-				report.Sent++
-				if err != nil {
-					report.Errors++
-					return
-				}
-				var cr ClassifyResponse
-				decErr := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&cr)
-				resp.Body.Close()
-				switch {
-				case resp.StatusCode == http.StatusOK && decErr == nil:
-					if cr.Degraded {
-						report.Degraded++
-					} else {
-						report.OK++
-					}
-					latencies = append(latencies, lat)
-				case resp.StatusCode == http.StatusTooManyRequests:
-					report.Rejected++
-				case resp.StatusCode >= 500:
-					report.Failed++
-				default:
-					report.Errors++
-				}
-			}(body)
+			owed := int(cfg.Rate * time.Since(start).Seconds())
+			if owed > total {
+				owed = total
+			}
+			for ; n < owed; n++ {
+				fire(n)
+			}
 		}
 	}
 	wg.Wait()
@@ -141,21 +187,18 @@ loop:
 
 	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
 	if len(latencies) > 0 {
-		report.P50 = percentile(latencies, 0.50)
-		report.P90 = percentile(latencies, 0.90)
-		report.P99 = percentile(latencies, 0.99)
+		report.P50 = stats.NearestRank(latencies, 0.50)
+		report.P90 = stats.NearestRank(latencies, 0.90)
+		report.P99 = stats.NearestRank(latencies, 0.99)
 		report.Max = latencies[len(latencies)-1]
 	}
 	if secs := report.Elapsed.Seconds(); secs > 0 {
 		report.Throughput = float64(report.OK+report.Degraded) / secs
 	}
+	if len(report.StatusCounts) == 0 {
+		report.StatusCounts = nil
+	}
 	return &report, nil
-}
-
-// percentile reads the nearest-rank p-quantile from an ascending latency
-// slice (shared definition with mvtrace's summary).
-func percentile(sorted []time.Duration, p float64) time.Duration {
-	return stats.NearestRank(sorted, p)
 }
 
 func ptr[T any](v T) *T { return &v }

@@ -1,8 +1,11 @@
 package serve
 
 import (
+	"fmt"
+	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -87,5 +90,74 @@ func TestRunLoadValidatesConfig(t *testing.T) {
 	}
 	if _, err := RunLoad("http://127.0.0.1:0", LoadConfig{Rate: 10, Duration: 0}); err == nil {
 		t.Fatal("zero duration accepted")
+	}
+}
+
+// TestRunLoadStatusCounts pins the per-status-code failure breakdown: a
+// server cycling 200/429/503 must produce a report whose StatusCounts
+// reconcile exactly with the aggregate Rejected and Failed counters, keeping
+// gateway shed (429) distinguishable from shard errors (5xx).
+func TestRunLoadStatusCounts(t *testing.T) {
+	var mu sync.Mutex
+	n := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		i := n
+		n++
+		mu.Unlock()
+		switch i % 3 {
+		case 0:
+			w.Header().Set("Content-Type", "application/json")
+			fmt.Fprint(w, `{"class":1,"agreeing":3,"proposals":3}`)
+		case 1:
+			w.WriteHeader(http.StatusTooManyRequests)
+		default:
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+	}))
+	defer ts.Close()
+
+	rep, err := RunLoad(ts.URL, LoadConfig{
+		Rate: 100, Duration: 300 * time.Millisecond, Timeout: 2 * time.Second, Seed: 1,
+		ClientID: "breakdown",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("transport errors against a local stub: %+v", rep)
+	}
+	if rep.StatusCounts[http.StatusTooManyRequests] != rep.Rejected {
+		t.Fatalf("429 count %d != rejected %d", rep.StatusCounts[http.StatusTooManyRequests], rep.Rejected)
+	}
+	if rep.StatusCounts[http.StatusServiceUnavailable] != rep.Failed {
+		t.Fatalf("503 count %d != failed %d", rep.StatusCounts[http.StatusServiceUnavailable], rep.Failed)
+	}
+	if _, ok := rep.StatusCounts[http.StatusOK]; ok {
+		t.Fatal("200s must not appear in the non-200 breakdown")
+	}
+	out := rep.String()
+	if !strings.Contains(out, "non-200 by status") {
+		t.Fatalf("report does not render the breakdown:\n%s", out)
+	}
+}
+
+// TestRunLoadCleanReportOmitsBreakdown keeps the all-200 report identical to
+// the pre-breakdown format (StatusCounts nils out when empty).
+func TestRunLoadCleanReportOmitsBreakdown(t *testing.T) {
+	s := newTestServer(t, testConfig(), nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	rep, err := RunLoad(ts.URL, LoadConfig{
+		Rate: 50, Duration: 200 * time.Millisecond, Timeout: 2 * time.Second, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed == 0 && rep.Rejected == 0 && rep.Errors == 0 && rep.StatusCounts != nil {
+		t.Fatalf("clean run still carries StatusCounts: %+v", rep.StatusCounts)
+	}
+	if strings.Contains(rep.String(), "non-200") {
+		t.Fatalf("clean report renders an empty breakdown:\n%s", rep)
 	}
 }

@@ -26,10 +26,20 @@ type metrics struct {
 	flight  *obs.FlightRecorder
 	profile bool
 	started time.Time
+
+	// shard is the server's shard label ("" standalone); shardAttrs is a
+	// shared read-only attrs map carrying just that label, reused for stages
+	// that otherwise have no attributes (span attrs must not be mutated after
+	// emission, so sharing one map is safe).
+	shard      string
+	shardAttrs map[string]any
 }
 
-func newMetrics(rt *obs.Runtime, profile bool) *metrics {
-	m := &metrics{started: time.Now()}
+func newMetrics(rt *obs.Runtime, profile bool, shard string) *metrics {
+	m := &metrics{started: time.Now(), shard: shard}
+	if shard != "" {
+		m.shardAttrs = map[string]any{"shard": shard}
+	}
 	if rt != nil {
 		m.reg = rt.Metrics()
 		m.tracer = rt.Tracer()

@@ -53,6 +53,14 @@ type versionAnswer struct {
 	start, end float64
 }
 
+// worker is one replica plus its private stop signal, so the pool can be
+// shrunk one worker at a time (autoscaling) without closing the shared jobs
+// channel.
+type worker struct {
+	nv   *core.NNVersion
+	stop chan struct{}
+}
+
 // pool runs one version: a set of workers, each owning a private replica
 // network with the version's shared weights. Replicas exist because layer
 // forward passes record state — two batches must never share a network.
@@ -62,9 +70,15 @@ type pool struct {
 	m     *metrics
 
 	jobs        chan batchJob
-	workers     []*core.NNVersion
+	workers     []*worker
 	gemmWorkers int
 	wg          sync.WaitGroup
+
+	// factory builds one more replica (used by resize); nextReplica numbers
+	// replicas so each gets its own deterministic fault stream. Both are only
+	// touched while the pool is quiesced under the server's rejuvMu.
+	factory     func(replica int) (*core.NNVersion, error)
+	nextReplica int
 
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -99,14 +113,15 @@ func newPool(index int, name string, cfg Config, m *metrics) *pool {
 
 // addWorker registers one replica; call before start.
 func (p *pool) addWorker(v *core.NNVersion) {
-	p.workers = append(p.workers, v)
+	p.workers = append(p.workers, &worker{nv: v, stop: make(chan struct{})})
+	p.nextReplica++
 }
 
 // start launches one goroutine per replica.
 func (p *pool) start() {
-	for _, v := range p.workers {
+	for _, w := range p.workers {
 		p.wg.Add(1)
-		go p.run(v)
+		go p.run(w)
 	}
 }
 
@@ -115,23 +130,31 @@ func (p *pool) start() {
 // this goroutine (like the replica itself), so buffers are reused across
 // jobs without synchronisation; the prediction slice crosses the channel to
 // the voter and therefore must be freshly allocated per job (preds = nil).
-func (p *pool) run(v *core.NNVersion) {
+func (p *pool) run(w *worker) {
 	defer p.wg.Done()
 	ar := nn.NewInferenceArena()
 	ar.GemmWorkers = p.gemmWorkers
 	ar.Profiler = p.m.layerProfiler(p.name)
 	sink := p.m.spans
-	for job := range p.jobs {
-		ans := versionAnswer{version: p.index}
-		if sink != nil {
-			ans.start = sink.Now()
+	for {
+		select {
+		case <-w.stop:
+			return
+		case job, ok := <-p.jobs:
+			if !ok {
+				return
+			}
+			ans := versionAnswer{version: p.index}
+			if sink != nil {
+				ans.start = sink.Now()
+			}
+			ans.preds, ans.err = w.nv.Network().PredictBatchArena(job.batch, ar, nil)
+			if sink != nil {
+				ans.end = sink.Now()
+			}
+			job.out <- ans
+			p.finishJob()
 		}
-		ans.preds, ans.err = v.Network().PredictBatchArena(job.batch, ar, nil)
-		if sink != nil {
-			ans.end = sink.Now()
-		}
-		job.out <- ans
-		p.finishJob()
 	}
 }
 
@@ -181,8 +204,8 @@ func (p *pool) withQuiesced(fn func(*core.NNVersion) error) error {
 	p.mu.Unlock()
 
 	var first error
-	for _, v := range p.workers {
-		if err := fn(v); err != nil && first == nil {
+	for _, w := range p.workers {
+		if err := fn(w.nv); err != nil && first == nil {
 			first = err
 		}
 	}
@@ -193,6 +216,72 @@ func (p *pool) withQuiesced(fn func(*core.NNVersion) error) error {
 	}
 	p.mu.Unlock()
 	return first
+}
+
+// resize grows or shrinks the worker set to n replicas while the pool is
+// quiesced. New replicas are built by the factory and then loaded with the
+// CURRENT weights of an existing replica (not the pristine ones): if the
+// version is compromised right now, all replicas must stay functionally
+// identical until rejuvenation restores the whole set. Shrinking stops the
+// newest workers first. Caller must serialise resize with rejuvenation
+// (the server holds rejuvMu).
+func (p *pool) resize(n int) error {
+	p.mu.Lock()
+	if p.state == poolHalted {
+		p.mu.Unlock()
+		return ErrClosed
+	}
+	p.state = poolDraining
+	for p.pending > 0 {
+		p.cond.Wait()
+	}
+	p.mu.Unlock()
+
+	// The pool is quiesced, so no goroutine touches the replicas themselves;
+	// the slice header is still guarded by p.mu for concurrent size() reads.
+	var err error
+	for len(p.workers) > n && len(p.workers) > 1 {
+		w := p.workers[len(p.workers)-1]
+		p.mu.Lock()
+		p.workers = p.workers[:len(p.workers)-1]
+		p.mu.Unlock()
+		close(w.stop)
+	}
+	if len(p.workers) < n {
+		cur := p.workers[0].nv.Network().CloneWeights()
+		for len(p.workers) < n {
+			nv, ferr := p.factory(p.nextReplica)
+			if ferr != nil {
+				err = ferr
+				break
+			}
+			if ferr := nv.Network().RestoreWeights(cur); ferr != nil {
+				err = ferr
+				break
+			}
+			p.nextReplica++
+			w := &worker{nv: nv, stop: make(chan struct{})}
+			p.mu.Lock()
+			p.workers = append(p.workers, w)
+			p.mu.Unlock()
+			p.wg.Add(1)
+			go p.run(w)
+		}
+	}
+
+	p.mu.Lock()
+	if p.state == poolDraining {
+		p.state = poolServing
+	}
+	p.mu.Unlock()
+	return err
+}
+
+// size reports the current replica count.
+func (p *pool) size() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.workers)
 }
 
 // halt permanently stops the pool and its workers (server shutdown).
@@ -272,6 +361,7 @@ func (p *pool) status() VersionStatus {
 		Name:     p.name,
 		State:    p.state.String(),
 		InFlight: p.pending,
+		Workers:  len(p.workers),
 	}
 	if p.windowFill > 0 {
 		st.Divergence = float64(p.disagreed) / float64(p.windowFill)

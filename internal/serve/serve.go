@@ -107,6 +107,13 @@ type Config struct {
 	// runtime with a span sink; the engine only observes published spans,
 	// so responses are bitwise-identical with it on or off.
 	Health *health.Options
+	// ShardLabel names this server inside a multi-shard deployment. When
+	// non-empty every span the server emits carries a "shard" attribute, so a
+	// shared span sink stays attributable per shard (the gateway's per-shard
+	// health engines filter on it, and mvtrace groups stage latencies by it).
+	// Empty for a standalone server — spans are then byte-identical to the
+	// pre-gateway format.
+	ShardLabel string
 
 	// batchGate, when non-nil, makes the batcher wait for a token before
 	// collecting each batch — lets tests fill the admission queue
@@ -228,11 +235,18 @@ type Server struct {
 	stopped sync.WaitGroup
 	closed  atomic.Bool
 
-	// rejuvMu serialises rejuvenation and compromise so at most one version
-	// is ever out of service at a time (the other n−1 keep answering).
+	// rejuvMu serialises rejuvenation, compromise and worker resizing so at
+	// most one version is ever out of service at a time (the other n−1 keep
+	// answering).
 	rejuvMu sync.Mutex
 	// reactivePending collapses concurrent reactive triggers into one.
 	reactivePending atomic.Bool
+
+	// draining is the gateway-visible lifecycle state: a draining shard keeps
+	// answering whatever still reaches it (zero downtime), but advertises
+	// that new traffic should be routed to its ring successor. Purely
+	// advisory — admission itself never rejects on it.
+	draining atomic.Bool
 
 	startedAt time.Time
 }
@@ -259,7 +273,7 @@ func New(cfg Config, rt *obs.Runtime) (*Server, error) {
 	s := &Server{
 		cfg:       cfg,
 		voter:     core.NewEqualityVoter[int](),
-		m:         newMetrics(rt, cfg.ProfileLayers),
+		m:         newMetrics(rt, cfg.ProfileLayers, cfg.ShardLabel),
 		queue:     make(chan *request, cfg.QueueDepth),
 		stop:      make(chan struct{}),
 		startedAt: time.Now(),
@@ -275,6 +289,11 @@ func New(cfg Config, rt *obs.Runtime) (*Server, error) {
 		}
 		if opts.DivergenceThreshold == 0 {
 			opts.DivergenceThreshold = cfg.DivergenceThreshold
+		}
+		if opts.ShardFilter == "" {
+			// On a shared multi-shard sink this engine must judge only its
+			// own shard's spans.
+			opts.ShardFilter = cfg.ShardLabel
 		}
 		s.health = health.NewEngine(opts, s.m.reg)
 		s.m.spans.Attach(s.health)
@@ -309,7 +328,10 @@ func (s *Server) makeNetwork(v int, root *xrand.Rand) (*nn.Network, error) {
 }
 
 // buildPool trains version v once, then clones the weights into
-// WorkersPerVersion private replicas.
+// WorkersPerVersion private replicas. The replica factory is retained on the
+// pool so the worker set can be grown later (autoscaling): xrand.Split is a
+// pure derivation, so replicas built after startup draw the same
+// deterministic streams they would have drawn at startup.
 func (s *Server) buildPool(v int, root *xrand.Rand, train []nn.Sample) (*pool, error) {
 	proto, err := s.makeNetwork(v, root)
 	if err != nil {
@@ -325,7 +347,8 @@ func (s *Server) buildPool(v int, root *xrand.Rand, train []nn.Sample) (*pool, e
 	weights := proto.CloneWeights()
 
 	p := newPool(v, proto.Name, s.cfg, s.m)
-	for w := 0; w < s.cfg.WorkersPerVersion; w++ {
+	layer, count := s.cfg.InjectLayer, s.cfg.InjectCount
+	p.factory = func(w int) (*core.NNVersion, error) {
 		net, err := s.makeNetwork(v, root)
 		if err != nil {
 			return nil, fmt.Errorf("serve: version %d replica %d: %w", v, w, err)
@@ -334,7 +357,6 @@ func (s *Server) buildPool(v int, root *xrand.Rand, train []nn.Sample) (*pool, e
 			return nil, fmt.Errorf("serve: version %d replica %d: %w", v, w, err)
 		}
 		faultR := root.Split("fault", uint64(v)<<16|uint64(w))
-		layer, count := s.cfg.InjectLayer, s.cfg.InjectCount
 		nv, err := core.NewNNVersion(net, func(n *nn.Network) error {
 			for i := 0; i < count; i++ {
 				if _, err := faultinject.RandomWeightInj(n, layer, -10, 30, faultR); err != nil {
@@ -345,6 +367,13 @@ func (s *Server) buildPool(v int, root *xrand.Rand, train []nn.Sample) (*pool, e
 		})
 		if err != nil {
 			return nil, fmt.Errorf("serve: version %d replica %d: %w", v, w, err)
+		}
+		return nv, nil
+	}
+	for w := 0; w < s.cfg.WorkersPerVersion; w++ {
+		nv, err := p.factory(w)
+		if err != nil {
+			return nil, err
 		}
 		p.addWorker(nv)
 	}
@@ -376,6 +405,9 @@ func (s *Server) submit(img *tensor.Tensor) (*request, error) {
 	var t0 float64
 	if sink != nil {
 		sp = sink.StartTrace("request")
+		if s.cfg.ShardLabel != "" {
+			sp.SetAttr("shard", s.cfg.ShardLabel)
+		}
 		t0 = sink.Now()
 	}
 	want := nn.InputChannels * nn.InputSize * nn.InputSize
@@ -397,7 +429,7 @@ func (s *Server) submit(img *tensor.Tensor) (*request, error) {
 		// the admission interval closes here and queue wait starts.
 		req.span = sp
 		req.tq = sink.Now()
-		sp.Interval("admission", t0, req.tq, nil)
+		sp.Interval("admission", t0, req.tq, s.m.shardAttrs)
 	}
 	select {
 	case s.queue <- req:
@@ -432,6 +464,9 @@ func (s *Server) Rejuvenate(v int, kind string) error {
 	attrs := map[string]any{
 		"version": p.name, "kind": kind,
 		"drain_ms": float64(time.Since(start)) / float64(time.Millisecond),
+	}
+	if s.cfg.ShardLabel != "" {
+		attrs["shard"] = s.cfg.ShardLabel
 	}
 	if sink := s.m.spans; sink != nil {
 		// Rejuvenation is its own single-span trace covering drain → restore
@@ -492,6 +527,7 @@ type VersionStatus struct {
 	Name       string  `json:"name"`
 	State      string  `json:"state"`
 	InFlight   int     `json:"in_flight"`
+	Workers    int     `json:"workers"`
 	Divergence float64 `json:"divergence"`
 }
 
@@ -505,6 +541,95 @@ func (s *Server) Status() (versions []VersionStatus, queueDepth int) {
 
 // Health returns the attached health engine (nil when disabled).
 func (s *Server) Health() *health.Engine { return s.health }
+
+// ShardLabel returns the configured shard label ("" for standalone servers).
+func (s *Server) ShardLabel() string { return s.cfg.ShardLabel }
+
+// QueueDepth returns the live admission-queue length — the gateway
+// autoscaler's primary load signal.
+func (s *Server) QueueDepth() int { return int(s.depth.Load()) }
+
+// QueueCapacity returns the admission queue's bound.
+func (s *Server) QueueCapacity() int { return s.cfg.QueueDepth }
+
+// Workers returns the current per-version replica count (the pools are kept
+// symmetric, so any pool's size is the answer).
+func (s *Server) Workers() int {
+	if len(s.pools) == 0 {
+		return 0
+	}
+	return s.pools[0].size()
+}
+
+// SetDraining flips the shard-lifecycle drain flag. Draining is a routable
+// condition, not an error: the server keeps answering everything that still
+// reaches it, and the flag only tells the routing tier (gateway ring) to
+// prefer successors. The transition is traced so incident timelines show
+// when traffic was steered away.
+func (s *Server) SetDraining(v bool) {
+	if s.draining.Swap(v) == v {
+		return
+	}
+	attrs := map[string]any{"draining": v}
+	if s.cfg.ShardLabel != "" {
+		attrs["shard"] = s.cfg.ShardLabel
+	}
+	if sink := s.m.spans; sink != nil {
+		now := sink.Now()
+		sink.Emit(sink.NewTraceID(), 0, "drain", now, now, attrs)
+	}
+	s.m.trace("drain", attrs)
+}
+
+// Draining reports the shard-lifecycle drain flag.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// ResizeWorkers grows or shrinks every version pool to perVersion replicas,
+// one pool at a time so at most one version is ever paused — the other n−1
+// keep answering while a pool quiesces (the same zero-downtime contract as
+// rejuvenation). New replicas adopt the CURRENT weights of their pool, so a
+// compromised version stays functionally uniform until it is rejuvenated.
+func (s *Server) ResizeWorkers(perVersion int) error {
+	if perVersion < 1 {
+		return fmt.Errorf("serve: need at least one worker per version, got %d", perVersion)
+	}
+	s.rejuvMu.Lock()
+	defer s.rejuvMu.Unlock()
+	from := s.Workers()
+	if from == perVersion {
+		return nil
+	}
+	t0 := s.m.spans.Now()
+	var first error
+	for _, p := range s.pools {
+		if err := p.resize(perVersion); err != nil && first == nil {
+			first = fmt.Errorf("serve: resizing %s: %w", p.name, err)
+		}
+	}
+	attrs := map[string]any{"from": from, "to": perVersion}
+	if s.cfg.ShardLabel != "" {
+		attrs["shard"] = s.cfg.ShardLabel
+	}
+	if sink := s.m.spans; sink != nil {
+		sink.Emit(sink.NewTraceID(), 0, "resize", t0, sink.Now(), attrs)
+	}
+	s.m.trace("resize", attrs)
+	return first
+}
+
+// RejuvenateAll drains, restores and reinstates every version in sequence —
+// the whole-shard rejuvenation a gateway performs behind a drained ring
+// entry. Zero downtime within the shard: Rejuvenate serialises on rejuvMu,
+// so only one version is ever out of rotation.
+func (s *Server) RejuvenateAll(kind string) error {
+	var first error
+	for v := range s.pools {
+		if err := s.Rejuvenate(v, kind); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
 
 // Close stops admission, lets the batcher finish queued work (failing
 // anything unservable with ErrClosed), and waits for all goroutines.
