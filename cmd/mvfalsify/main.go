@@ -1,0 +1,212 @@
+// Command mvfalsify is the adversarial scenario falsifier: it searches the
+// driving-scenario space for safety violations (collisions, near-collisions,
+// undetected obstacles), shrinks each find to a locally-minimal
+// counterexample, and maintains the regression corpus replayed by
+// `go test ./internal/scenario`.
+//
+// Usage:
+//
+//	mvfalsify search -seed 7 -chains 24 -steps 60 -corpus internal/scenario/testdata/corpus -write
+//	mvfalsify search -seed 7 -chains 8 -steps 60 -corpus ... -rediscover   # CI smoke
+//	mvfalsify replay -corpus internal/scenario/testdata/corpus
+//	mvfalsify show   -in ce-abcdef012345.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"mvml/internal/scenario"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "search":
+		err = cmdSearch(os.Args[2:])
+	case "replay":
+		err = cmdReplay(os.Args[2:])
+	case "show":
+		err = cmdShow(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+	default:
+		usage()
+		err = fmt.Errorf("unknown subcommand %q", os.Args[1])
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mvfalsify:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  mvfalsify search [-seed N] [-chains N] [-steps N] [-workers N]
+                   [-corpus DIR] [-write] [-rediscover] [-min-violations N]
+      run the falsifier; -write banks new minimized counterexamples in the
+      corpus, -rediscover requires at least one find to already be a corpus
+      member (the CI determinism gate), -min-violations fails the run if
+      fewer distinct counterexamples were found
+  mvfalsify replay -corpus DIR
+      re-evaluate every corpus entry and report divergence from its stored
+      metrics (exit 1 on any mismatch or lost violation)
+  mvfalsify show -in FILE
+      pretty-print one corpus entry with its re-evaluated metrics
+run "mvfalsify <subcommand> -h" for flags`)
+}
+
+func cmdSearch(args []string) error {
+	fs := flag.NewFlagSet("search", flag.ExitOnError)
+	seed := fs.Uint64("seed", 7, "search root seed")
+	chains := fs.Int("chains", 24, "independent hill-climbing chains")
+	steps := fs.Int("steps", 60, "evaluations per chain")
+	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS; never changes results)")
+	corpusDir := fs.String("corpus", "", "corpus directory for -write / -rediscover")
+	write := fs.Bool("write", false, "bank minimized counterexamples into -corpus")
+	rediscover := fs.Bool("rediscover", false, "require >=1 found counterexample to already be in -corpus")
+	minViolations := fs.Int("min-violations", 0, "fail unless at least this many distinct counterexamples were found")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if (*write || *rediscover) && *corpusDir == "" {
+		return fmt.Errorf("-write/-rediscover need -corpus")
+	}
+
+	rep, err := scenario.Search(scenario.Config{
+		Chains: *chains, Steps: *steps, Workers: *workers, Seed: *seed, Minimize: true,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("explored %d scenarios across %d chains (seed %d): %d violations, %d distinct counterexamples\n",
+		rep.Explored, *chains, *seed, rep.Violations, len(rep.Counterexamples))
+	fmt.Println("min-TTC distribution over explored scenarios:")
+	for _, b := range rep.TTCHistogram {
+		fmt.Printf("  [%5.1f, %5.1f)s %5d\n", b.Lo, b.Hi, b.Count)
+	}
+	for _, ce := range rep.Counterexamples {
+		fmt.Printf("  %s  chain=%-2d step=%-3d %s\n",
+			scenario.Fingerprint(ce.Scenario), ce.Chain, ce.Step, scenario.DescribeMetrics(ce.Metrics))
+	}
+
+	if len(rep.Counterexamples) < *minViolations {
+		return fmt.Errorf("found %d distinct counterexamples, need %d", len(rep.Counterexamples), *minViolations)
+	}
+	if *rediscover {
+		entries, _, err := scenario.LoadCorpus(*corpusDir)
+		if err != nil {
+			return err
+		}
+		known := scenario.CorpusFingerprints(entries)
+		hits := 0
+		for _, ce := range rep.Counterexamples {
+			if known[scenario.Fingerprint(ce.Scenario)] {
+				hits++
+			}
+		}
+		fmt.Printf("rediscovered %d/%d corpus entries\n", hits, len(entries))
+		if hits == 0 {
+			return fmt.Errorf("search rediscovered no corpus entry — determinism or search regression")
+		}
+	}
+	if *write {
+		wrote := 0
+		for _, ce := range rep.Counterexamples {
+			path, err := scenario.WriteEntry(*corpusDir, scenario.Entry{
+				Scenario: ce.Scenario,
+				Metrics:  ce.Metrics,
+				Note: fmt.Sprintf("mvfalsify search -seed %d -chains %d -steps %d (chain %d, step %d)",
+					*seed, *chains, *steps, ce.Chain, ce.Step),
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Println("wrote", path)
+			wrote++
+		}
+		fmt.Printf("banked %d counterexamples in %s\n", wrote, *corpusDir)
+	}
+	return nil
+}
+
+func cmdReplay(args []string) error {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	corpusDir := fs.String("corpus", "", "corpus directory")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *corpusDir == "" {
+		return fmt.Errorf("replay needs -corpus")
+	}
+	entries, names, err := scenario.LoadCorpus(*corpusDir)
+	if err != nil {
+		return err
+	}
+	if len(entries) == 0 {
+		return fmt.Errorf("no corpus entries under %s", *corpusDir)
+	}
+	bad := 0
+	for i, e := range entries {
+		got, err := scenario.Evaluate(e.Scenario)
+		switch {
+		case err != nil:
+			fmt.Printf("FAIL %s: %v\n", names[i], err)
+			bad++
+		case got != e.Metrics:
+			fmt.Printf("FAIL %s: metrics diverged\n  stored: %s\n  got:    %s\n",
+				names[i], scenario.DescribeMetrics(e.Metrics), scenario.DescribeMetrics(got))
+			bad++
+		case !got.Violation:
+			fmt.Printf("FAIL %s: no longer a violation (%s)\n", names[i], scenario.DescribeMetrics(got))
+			bad++
+		default:
+			fmt.Printf("ok   %s: %s\n", names[i], scenario.DescribeMetrics(got))
+		}
+	}
+	if bad > 0 {
+		return fmt.Errorf("%d/%d corpus entries failed replay", bad, len(entries))
+	}
+	fmt.Printf("replayed %d counterexamples, all reproduced\n", len(entries))
+	return nil
+}
+
+func cmdShow(args []string) error {
+	fs := flag.NewFlagSet("show", flag.ExitOnError)
+	in := fs.String("in", "", "corpus entry file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("show needs -in")
+	}
+	data, err := os.ReadFile(*in)
+	if err != nil {
+		return err
+	}
+	e, err := scenario.DecodeEntry(data)
+	if err != nil {
+		return err
+	}
+	got, err := scenario.Evaluate(e.Scenario)
+	if err != nil {
+		return err
+	}
+	out, err := json.MarshalIndent(struct {
+		Fingerprint string           `json:"fingerprint"`
+		Entry       scenario.Entry   `json:"entry"`
+		Reevaluated scenario.Metrics `json:"reevaluated"`
+		Reproduced  bool             `json:"reproduced"`
+	}{scenario.Fingerprint(e.Scenario), e, got, got == e.Metrics}, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(out))
+	return nil
+}

@@ -24,6 +24,16 @@ type Config struct {
 	CruiseSpeed float64
 	// SensorRange limits perception to nearby objects (default 45 m).
 	SensorRange float64
+	// Traffic, when non-nil, replaces the route's scripted NPCs; an empty
+	// non-nil slice runs the route with no traffic at all. The scenario
+	// falsifier uses this to drive searched traffic schedules through the
+	// simulator. NPCs are stateful: callers must pass freshly constructed
+	// vehicles to each Run.
+	Traffic []*NPC
+	// DetectionMatchRadius is the association distance (m) under which a
+	// perception detection counts as covering a ground-truth object for
+	// the missed-obstacle safety signal (default 2.0).
+	DetectionMatchRadius float64
 	// Metrics, when non-nil, receives frame counters, tick-latency
 	// histograms and ego-state gauges. Telemetry is purely observational:
 	// it consumes no draws from the run's rng, so instrumented and
@@ -59,6 +69,9 @@ func (c *Config) fillDefaults() {
 	if c.SensorRange == 0 {
 		c.SensorRange = 45
 	}
+	if c.DetectionMatchRadius == 0 {
+		c.DetectionMatchRadius = 2.0
+	}
 }
 
 // Validate reports configuration errors.
@@ -66,8 +79,21 @@ func (c Config) Validate() error {
 	if c.RouteNumber < 1 || c.RouteNumber > NumRoutes {
 		return fmt.Errorf("drivesim: route %d outside 1..%d", c.RouteNumber, NumRoutes)
 	}
-	if c.DT < 0 || c.CruiseSpeed < 0 || c.SensorRange < 0 || c.MaxFrames < 0 {
+	if c.DT < 0 || c.CruiseSpeed < 0 || c.SensorRange < 0 || c.MaxFrames < 0 ||
+		c.DetectionMatchRadius < 0 {
 		return errors.New("drivesim: negative config value")
+	}
+	// A NaN slips past every < comparison and an Inf survives them, then
+	// poisons the frame-count derivation (int conversion of a non-finite
+	// float is platform-defined) and every kinematic update downstream —
+	// reject both here rather than running a silently meaningless scenario.
+	for name, v := range map[string]float64{
+		"DT": c.DT, "CruiseSpeed": c.CruiseSpeed, "SensorRange": c.SensorRange,
+		"DetectionMatchRadius": c.DetectionMatchRadius,
+	} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("drivesim: non-finite %s %v", name, v)
+		}
 	}
 	return nil
 }
@@ -88,6 +114,24 @@ type Result struct {
 	SkippedFrames int
 	// Completed reports whether the ego reached the end of the route.
 	Completed bool
+
+	// Per-step safety signals (see frameSafety). They are pure
+	// observations of ground truth versus the perception output: computing
+	// them consumes no rng draws and alters no decision.
+
+	// MinTTC is the minimum time-to-collision (s) against any in-corridor
+	// lead object across the run, capped at TTCCap; 0 once any collision
+	// occurs.
+	MinTTC float64
+	// MissedObstacleFrames counts non-skipped frames on which an
+	// in-corridor ground-truth object ahead of the ego had no perception
+	// detection within DetectionMatchRadius.
+	MissedObstacleFrames int
+	// UnsafeSpeedFrames counts frames on which the ego moved faster than
+	// the maximum-braking stopping envelope for the nearest in-corridor
+	// obstacle — i.e. frames on which even a perfect emergency brake could
+	// no longer prevent contact.
+	UnsafeSpeedFrames int
 
 	// Overhead proxies (see costAccount).
 	AvgFPS     float64
@@ -200,9 +244,12 @@ func Run(cfg Config, percept PerceptionSystem, rng *xrand.Rand) (*Result, error)
 	if err != nil {
 		return nil, err
 	}
-	npcs, err := scenarioNPCs(cfg.RouteNumber, route)
-	if err != nil {
-		return nil, err
+	npcs := cfg.Traffic
+	if npcs == nil {
+		npcs, err = scenarioNPCs(cfg.RouteNumber, route)
+		if err != nil {
+			return nil, err
+		}
 	}
 	maxFrames := cfg.MaxFrames
 	if maxFrames == 0 {
@@ -214,7 +261,7 @@ func Run(cfg Config, percept PerceptionSystem, rng *xrand.Rand) (*Result, error)
 	}
 
 	ego := VehicleState{Pos: route.PointAt(0), Heading: route.HeadingAt(0)}
-	res := &Result{Route: townName, FirstCollisionFrame: -1}
+	res := &Result{Route: townName, FirstCollisionFrame: -1, MinTTC: TTCCap}
 	account := &costAccount{}
 
 	// Telemetry handles; all nil (no-op) when cfg.Metrics is nil.
@@ -271,6 +318,20 @@ func Run(cfg Config, percept PerceptionSystem, rng *xrand.Rand) (*Result, error)
 			targetSpeed = planSpeed(cfg, route, ego, out.Objects)
 		}
 
+		// Per-step safety signals against ground truth (the frame's scene,
+		// not the perception output): minimum TTC, stopping-envelope
+		// violations and undetected in-corridor obstacles.
+		ttc, missed, unsafe := frameSafety(route, ego, npcs, out, cfg)
+		if ttc < res.MinTTC {
+			res.MinTTC = ttc
+		}
+		if missed {
+			res.MissedObstacleFrames++
+		}
+		if unsafe {
+			res.UnsafeSpeedFrames++
+		}
+
 		ego = stepEgo(route, ego, targetSpeed, cfg.DT)
 
 		// Collision check with simple inelastic response: contact pins
@@ -286,6 +347,7 @@ func Run(cfg Config, percept PerceptionSystem, rng *xrand.Rand) (*Result, error)
 		}
 		if colliding {
 			res.CollisionFrames++
+			res.MinTTC = 0
 			collisionCtr.Inc()
 			if !res.Collided {
 				res.Collided = true
@@ -326,6 +388,63 @@ func Run(cfg Config, percept PerceptionSystem, rng *xrand.Rand) (*Result, error)
 	return res, nil
 }
 
+// TTCCap bounds the reported time-to-collision: approaches slower than this
+// are not a hazard, and a finite cap keeps Result JSON-encodable (a run that
+// never closes on anything reports MinTTC == TTCCap, not +Inf).
+const TTCCap = 60.0
+
+// frameSafety computes one frame's safety signals from ground truth: the
+// smallest time-to-collision against any in-corridor object ahead, whether
+// any such object within sensor range went undetected by the (non-skipped)
+// perception output, and whether the ego's speed exceeds the maximum-braking
+// stopping envelope for the nearest obstacle.
+func frameSafety(route *Path, ego VehicleState, npcs []*NPC, out PerceptionResult, cfg Config) (ttc float64, missed, unsafe bool) {
+	ttc = TTCCap
+	egoS := route.NearestArcLength(ego.Pos)
+	for _, n := range npcs {
+		st := n.State()
+		objS := route.NearestArcLength(st.Pos)
+		if st.Pos.Dist(route.PointAt(objS)) > corridorHalf {
+			continue
+		}
+		ahead := objS - egoS
+		// Range-gate on the same Euclidean distance the sensor snapshot
+		// uses, not on arc length: on a curve an object can be closer as
+		// the crow flies than along the route, and the probe must only
+		// blame perception for objects the sensor could actually see.
+		if ahead <= 0 || st.Pos.Dist(ego.Pos) > cfg.SensorRange {
+			continue
+		}
+		gap := ahead - (egoRadius + n.Radius)
+		if gap < 0 {
+			gap = 0
+		}
+		if closing := ego.Speed - st.Speed; closing > 0 {
+			if t := gap / closing; t < ttc {
+				ttc = t
+			}
+		}
+		// Stopping envelope: v² > 2·a_max·gap means contact is already
+		// unavoidable under full braking.
+		if ego.Speed*ego.Speed > 2*egoMaxBrake*gap {
+			unsafe = true
+		}
+		if !out.Skipped {
+			covered := false
+			for _, d := range out.Objects {
+				if d.Pos.Dist(st.Pos) <= cfg.DetectionMatchRadius {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				missed = true
+			}
+		}
+	}
+	return ttc, missed, unsafe
+}
+
 // planSpeed decides the ego target speed from the perceived obstacle set:
 // cruise unless something occupies the lane corridor ahead, then follow at a
 // safe gap or brake hard when very close.
@@ -337,6 +456,15 @@ func planSpeed(cfg Config, route *Path, ego VehicleState, objects []Detection) f
 	egoS := route.NearestArcLength(ego.Pos)
 	nearest := math.Inf(1)
 	for _, d := range objects {
+		// A detection with a non-finite coordinate (a degenerate upstream
+		// perception value) carries no usable position: NaN would slide
+		// through the corridor test below because every comparison against
+		// NaN is false. Drop it explicitly instead of letting it silently
+		// shadow or fabricate a hazard.
+		if math.IsNaN(d.Pos.X) || math.IsNaN(d.Pos.Y) ||
+			math.IsInf(d.Pos.X, 0) || math.IsInf(d.Pos.Y, 0) {
+			continue
+		}
 		objS := route.NearestArcLength(d.Pos)
 		lateral := d.Pos.Dist(route.PointAt(objS))
 		if lateral > corridorHalf {
@@ -419,12 +547,20 @@ func scenarioNPCs(routeNumber int, route *Path) ([]*NPC, error) {
 	// phase length is solved so the park position is route-relative,
 	// keeping the ego's queue exposure comparable across routes.
 	parkS := 0.55 * route.Length()
-	cruiseDist := parkS - 35 - 7*(4+shift) - 8*6
+	// The eight evaluation routes are all well over 120 m, but this builder
+	// also runs against caller-supplied paths (tests, scenario search):
+	// clamp the spawn points into the path instead of handing NewNPC an
+	// out-of-range arc length on a short route.
+	leadStart := 35.0
+	if leadStart > 0.3*route.Length() {
+		leadStart = 0.3 * route.Length()
+	}
+	cruiseDist := parkS - leadStart - 7*(4+shift) - 8*6
 	parkT := (22 + shift) + cruiseDist/8
 	if parkT < 23+shift {
 		parkT = 23 + shift
 	}
-	lead, err := NewNPC(1, route, 35, []SpeedPhase{
+	lead, err := NewNPC(1, route, leadStart, []SpeedPhase{
 		{Until: 4 + shift, Speed: 7},
 		{Until: 10 + shift, Speed: 2}, // first slowdown
 		{Until: 16 + shift, Speed: 8},
@@ -438,6 +574,12 @@ func scenarioNPCs(routeNumber int, route *Path) ([]*NPC, error) {
 	farS := 90.0
 	if farS > route.Length()-20 {
 		farS = route.Length() - 20
+	}
+	if farS < leadStart {
+		// Short route: keep the second vehicle ahead of the lead rather
+		// than spawning it at a negative arc length (which NewNPC rejects)
+		// or behind the hazard it is meant to back up.
+		farS = (leadStart + route.Length()) / 2
 	}
 	slow, err := NewNPC(2, route, farS, []SpeedPhase{
 		{Until: 12 + shift, Speed: 5},

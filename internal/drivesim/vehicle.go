@@ -1,6 +1,9 @@
 package drivesim
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // VehicleState is the pose and motion of a vehicle.
 type VehicleState struct {
@@ -86,6 +89,15 @@ func NewNPC(id int, path *Path, startS float64, profile []SpeedPhase) (*NPC, err
 	for i, ph := range profile {
 		if ph.Speed < 0 {
 			return nil, fmt.Errorf("drivesim: NPC %d phase %d has negative speed", id, i)
+		}
+		// NaN sails past the negative-speed check (every comparison with
+		// NaN is false) and would silently poison the NPC's position for
+		// the rest of the run; Inf survives it outright.
+		if math.IsNaN(ph.Speed) || math.IsInf(ph.Speed, 0) {
+			return nil, fmt.Errorf("drivesim: NPC %d phase %d has non-finite speed %v", id, i, ph.Speed)
+		}
+		if math.IsNaN(ph.Until) {
+			return nil, fmt.Errorf("drivesim: NPC %d phase %d has NaN end time", id, i)
 		}
 		if i > 0 && ph.Until <= profile[i-1].Until {
 			return nil, fmt.Errorf("drivesim: NPC %d phases not strictly increasing", id)

@@ -1,0 +1,119 @@
+package faultinject
+
+import (
+	"fmt"
+	"math"
+
+	"mvml/internal/nn"
+	"mvml/internal/xrand"
+)
+
+// ParseKind maps a DSL label (the Kind.String form, e.g. "weight-value")
+// back to a campaign fault kind. The scenario DSL stores fault kinds as
+// these labels so counterexample files stay readable and stable across
+// renumberings of the Kind constants.
+func ParseKind(label string) (Kind, error) {
+	switch label {
+	case "weight-value":
+		return KindWeightValue, nil
+	case "bit-flip":
+		return KindBitFlip, nil
+	case "stuck-at-zero":
+		return KindStuckAtZero, nil
+	default:
+		return 0, fmt.Errorf("faultinject: unknown fault kind %q", label)
+	}
+}
+
+// ScheduledFault is one timed injection in a Schedule.
+type ScheduledFault struct {
+	// Time is the simulated second at which the fault strikes.
+	Time float64 `json:"time"`
+	// Kind selects the fault model.
+	Kind Kind `json:"kind"`
+	// Layer is the parameterised-layer index targeted.
+	Layer int `json:"layer"`
+	// MinVal and MaxVal bound KindWeightValue injections (ignored
+	// otherwise).
+	MinVal float64 `json:"min_val,omitempty"`
+	MaxVal float64 `json:"max_val,omitempty"`
+}
+
+// Schedule is a time-ordered fault-injection plan: the deterministic,
+// replayable counterpart of a stochastic campaign. The scenario falsifier
+// encodes compromise schedules in this form so that a counterexample found
+// once replays the exact same faults at the exact same simulated times.
+type Schedule []ScheduledFault
+
+// Validate reports schedule errors: non-finite or negative times, times out
+// of order, unknown kinds, or empty weight-value ranges.
+func (s Schedule) Validate() error {
+	prev := math.Inf(-1)
+	for i, f := range s {
+		if math.IsNaN(f.Time) || math.IsInf(f.Time, 0) || f.Time < 0 {
+			return fmt.Errorf("faultinject: schedule[%d] has invalid time %v", i, f.Time)
+		}
+		if f.Time < prev {
+			return fmt.Errorf("faultinject: schedule[%d] time %v before predecessor %v", i, f.Time, prev)
+		}
+		prev = f.Time
+		switch f.Kind {
+		case KindWeightValue:
+			if f.MaxVal <= f.MinVal {
+				return fmt.Errorf("faultinject: schedule[%d] empty value range [%v, %v)", i, f.MinVal, f.MaxVal)
+			}
+		case KindBitFlip, KindStuckAtZero:
+		default:
+			return fmt.Errorf("faultinject: schedule[%d] unknown kind %v", i, f.Kind)
+		}
+		if f.Layer < 0 {
+			return fmt.Errorf("faultinject: schedule[%d] negative layer %d", i, f.Layer)
+		}
+	}
+	return nil
+}
+
+// Due returns the indices of schedule entries striking in (prev, now] — the
+// faults a frame-stepped simulation must apply when advancing from time
+// prev to time now.
+func (s Schedule) Due(prev, now float64) []int {
+	var due []int
+	for i, f := range s {
+		if f.Time > prev && f.Time <= now {
+			due = append(due, i)
+		}
+	}
+	return due
+}
+
+// Apply injects every due entry in (prev, now] into the network, drawing
+// injection randomness from per-entry Split substreams of rng so the result
+// is independent of how the caller chunks time. It returns the applied
+// injections in schedule order; revert them to rejuvenate.
+func (s Schedule) Apply(net *nn.Network, prev, now float64, rng *xrand.Rand) ([]Injection, error) {
+	var applied []Injection
+	for _, i := range s.Due(prev, now) {
+		f := s[i]
+		r := rng.Split("schedule", uint64(i))
+		var (
+			inj Injection
+			err error
+		)
+		switch f.Kind {
+		case KindWeightValue:
+			inj, err = RandomWeightInj(net, f.Layer, f.MinVal, f.MaxVal, r)
+		case KindBitFlip:
+			inj, err = BitFlip(net, f.Layer, r)
+		case KindStuckAtZero:
+			inj, err = StuckAt(net, f.Layer, 0, r)
+		default:
+			err = fmt.Errorf("faultinject: schedule[%d] unknown kind %v", i, f.Kind)
+		}
+		if err != nil {
+			RevertAll(applied)
+			return nil, err
+		}
+		applied = append(applied, inj)
+	}
+	return applied, nil
+}

@@ -1,0 +1,162 @@
+package faultinject
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"mvml/internal/nn"
+	"mvml/internal/signs"
+	"mvml/internal/xrand"
+)
+
+func TestParseKindRoundTrip(t *testing.T) {
+	for _, k := range []Kind{KindWeightValue, KindBitFlip, KindStuckAtZero} {
+		got, err := ParseKind(k.String())
+		if err != nil {
+			t.Fatalf("ParseKind(%q): %v", k.String(), err)
+		}
+		if got != k {
+			t.Fatalf("ParseKind(%q) = %v, want %v", k.String(), got, k)
+		}
+	}
+	if _, err := ParseKind("rowhammer"); err == nil {
+		t.Fatal("expected error for unknown kind label")
+	}
+}
+
+func TestScheduleValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		s    Schedule
+		ok   bool
+	}{
+		{"empty", nil, true},
+		{"ordered", Schedule{
+			{Time: 1, Kind: KindBitFlip},
+			{Time: 2, Kind: KindWeightValue, MinVal: -1, MaxVal: 1},
+		}, true},
+		{"equal times", Schedule{{Time: 1, Kind: KindBitFlip}, {Time: 1, Kind: KindStuckAtZero}}, true},
+		{"out of order", Schedule{{Time: 2, Kind: KindBitFlip}, {Time: 1, Kind: KindBitFlip}}, false},
+		{"nan time", Schedule{{Time: math.NaN(), Kind: KindBitFlip}}, false},
+		{"negative time", Schedule{{Time: -1, Kind: KindBitFlip}}, false},
+		{"unknown kind", Schedule{{Time: 1, Kind: Kind(99)}}, false},
+		{"empty range", Schedule{{Time: 1, Kind: KindWeightValue, MinVal: 1, MaxVal: 1}}, false},
+		{"negative layer", Schedule{{Time: 1, Kind: KindBitFlip, Layer: -1}}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.s.Validate()
+			if tc.ok && err != nil {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			if !tc.ok && err == nil {
+				t.Fatal("expected validation error")
+			}
+		})
+	}
+}
+
+func TestScheduleDue(t *testing.T) {
+	s := Schedule{{Time: 1}, {Time: 2}, {Time: 2}, {Time: 5}}
+	if got := s.Due(0, 2); !reflect.DeepEqual(got, []int{0, 1, 2}) {
+		t.Fatalf("Due(0,2) = %v", got)
+	}
+	if got := s.Due(2, 4); got != nil {
+		t.Fatalf("Due(2,4) = %v, want none", got)
+	}
+	if got := s.Due(4, 10); !reflect.DeepEqual(got, []int{3}) {
+		t.Fatalf("Due(4,10) = %v", got)
+	}
+}
+
+// TestScheduleApplyChunkingInvariance: applying a schedule in one sweep or in
+// many small time steps must inject the identical faults, because each entry
+// draws from its own Split substream.
+func TestScheduleApplyChunkingInvariance(t *testing.T) {
+	sched := Schedule{
+		{Time: 0.5, Kind: KindBitFlip, Layer: 0},
+		{Time: 1.0, Kind: KindWeightValue, Layer: 1, MinVal: -10, MaxVal: 30},
+		{Time: 2.5, Kind: KindStuckAtZero, Layer: 0},
+	}
+	if err := sched.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	run := func(steps int) ([]Injection, *nn.Network) {
+		net := nn.NewLeNetSmall(signs.NumClasses, xrand.New(4).Split("init", 0))
+		rng := xrand.New(7)
+		var all []Injection
+		prev := 0.0
+		for i := 1; i <= steps; i++ {
+			now := 3 * float64(i) / float64(steps)
+			injs, err := sched.Apply(net, prev, now, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			all = append(all, injs...)
+			prev = now
+		}
+		return all, net
+	}
+	oneShot, netA := run(1)
+	chunked, netB := run(60)
+	if len(oneShot) != len(sched) || len(chunked) != len(sched) {
+		t.Fatalf("applied %d / %d injections, want %d", len(oneShot), len(chunked), len(sched))
+	}
+	for i := range oneShot {
+		a, b := oneShot[i], chunked[i]
+		if a.LayerIndex != b.LayerIndex || a.TensorIndex != b.TensorIndex ||
+			a.Offset != b.Offset || a.New != b.New {
+			t.Fatalf("injection %d diverged between chunkings:\n%v\n%v", i, a, b)
+		}
+	}
+	// The two networks must hold identical weights after the schedule...
+	layersA, layersB := netA.ParamLayers(), netB.ParamLayers()
+	for li := range layersA {
+		for ti := range layersA[li].Params {
+			da, db := layersA[li].Params[ti].Data, layersB[li].Params[ti].Data
+			for off := range da {
+				if da[off] != db[off] {
+					t.Fatalf("weights diverged at layer %d tensor %d offset %d", li, ti, off)
+				}
+			}
+		}
+	}
+	// ...and reverting must restore the pristine network (rejuvenation).
+	RevertAll(oneShot)
+	pristine := nn.NewLeNetSmall(signs.NumClasses, xrand.New(4).Split("init", 0))
+	layersP := pristine.ParamLayers()
+	for li := range layersA {
+		for ti := range layersA[li].Params {
+			da, dp := layersA[li].Params[ti].Data, layersP[li].Params[ti].Data
+			for off := range da {
+				if da[off] != dp[off] {
+					t.Fatalf("revert left layer %d tensor %d offset %d modified", li, ti, off)
+				}
+			}
+		}
+	}
+}
+
+func TestScheduleApplyErrorReverts(t *testing.T) {
+	net := nn.NewLeNetSmall(signs.NumClasses, xrand.New(4).Split("init", 0))
+	sched := Schedule{
+		{Time: 1, Kind: KindBitFlip, Layer: 0},
+		{Time: 2, Kind: KindBitFlip, Layer: 999}, // no such layer
+	}
+	if _, err := sched.Apply(net, 0, 5, xrand.New(1)); err == nil {
+		t.Fatal("expected error for out-of-range layer")
+	}
+	pristine := nn.NewLeNetSmall(signs.NumClasses, xrand.New(4).Split("init", 0))
+	la, lp := net.ParamLayers(), pristine.ParamLayers()
+	for li := range la {
+		for ti := range la[li].Params {
+			da, dp := la[li].Params[ti].Data, lp[li].Params[ti].Data
+			for off := range da {
+				if da[off] != dp[off] {
+					t.Fatal("failed Apply left the network modified")
+				}
+			}
+		}
+	}
+}

@@ -109,6 +109,48 @@ func (p DetectorParams) Validate() error {
 	return nil
 }
 
+// Photometric-shift degradation ceilings: under a full shift (1.0) the
+// healthy miss probability climbs toward photometricMissCeilingHealthy, the
+// compromised miss probabilities toward photometricMissCeiling, and every
+// localisation sigma grows by up to photometricNoiseGain times.
+const (
+	photometricMissCeilingHealthy = 0.40
+	photometricMissCeiling        = 0.98
+	photometricNoiseGain          = 3.0
+)
+
+// WithPhotometricShift returns a copy of the parameters degraded by a
+// weather-like photometric shift in [0, 1] — the perception-side analogue of
+// fog, glare or heavy rain (and of signs.Config.PhotometricShift on the
+// classification side). A shift of 0 returns the parameters unchanged; a
+// shift of 1 drags every miss probability toward its ceiling and triples the
+// localisation noise. Values outside [0, 1] are clamped. Because the shift
+// degrades ALL versions through the same parameters, it raises the
+// correlated-failure pressure that defeats majority voting — exactly the
+// regime the scenario falsifier searches.
+func (p DetectorParams) WithPhotometricShift(shift float64) DetectorParams {
+	if !(shift > 0) { // also catches NaN
+		return p
+	}
+	if shift > 1 {
+		shift = 1
+	}
+	toward := func(v, ceiling float64) float64 {
+		if v >= ceiling {
+			return v
+		}
+		return v + shift*(ceiling-v)
+	}
+	p.MissHealthy = toward(p.MissHealthy, photometricMissCeilingHealthy)
+	p.MissCompromisedNear = toward(p.MissCompromisedNear, photometricMissCeiling)
+	p.MissCompromisedFar = toward(p.MissCompromisedFar, photometricMissCeiling)
+	gain := 1 + shift*(photometricNoiseGain-1)
+	p.NoiseHealthy *= gain
+	p.NoiseCompromisedNear *= gain
+	p.NoiseCompromisedFar *= gain
+	return p
+}
+
 // DetectorVersion is one perception version. It implements
 // core.Version[drivesim.Scene, []drivesim.Detection].
 type DetectorVersion struct {

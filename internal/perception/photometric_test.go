@@ -1,0 +1,54 @@
+package perception
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWithPhotometricShift(t *testing.T) {
+	base := DefaultDetectorParams()
+
+	if got := base.WithPhotometricShift(0); got != base {
+		t.Fatal("zero shift must be the identity")
+	}
+	if got := base.WithPhotometricShift(math.NaN()); got != base {
+		t.Fatal("NaN shift must be treated as zero")
+	}
+
+	mid := base.WithPhotometricShift(0.5)
+	full := base.WithPhotometricShift(1)
+	over := base.WithPhotometricShift(7) // clamped to 1
+	if over != full {
+		t.Fatal("shift above 1 must clamp to the full-shift parameters")
+	}
+
+	// Degradation must be monotone in the shift and stay inside [0, 1]
+	// probability bounds / validation.
+	if !(base.MissHealthy < mid.MissHealthy && mid.MissHealthy < full.MissHealthy) {
+		t.Fatalf("healthy miss not monotone: %v %v %v", base.MissHealthy, mid.MissHealthy, full.MissHealthy)
+	}
+	if !(base.MissCompromisedFar < mid.MissCompromisedFar && mid.MissCompromisedFar <= full.MissCompromisedFar) {
+		t.Fatalf("far miss not monotone: %v %v %v", base.MissCompromisedFar, mid.MissCompromisedFar, full.MissCompromisedFar)
+	}
+	if !(base.NoiseHealthy < mid.NoiseHealthy && mid.NoiseHealthy < full.NoiseHealthy) {
+		t.Fatalf("noise not monotone: %v %v %v", base.NoiseHealthy, mid.NoiseHealthy, full.NoiseHealthy)
+	}
+	for _, p := range []DetectorParams{mid, full} {
+		if err := p.Validate(); err != nil {
+			t.Fatalf("shifted params invalid: %v", err)
+		}
+	}
+
+	// Unrelated knobs must pass through untouched.
+	if mid.CommonMode != base.CommonMode || mid.GhostCompromised != base.GhostCompromised ||
+		mid.MatchRadius != base.MatchRadius || mid.HazardWindow != base.HazardWindow {
+		t.Fatal("photometric shift altered non-photometric parameters")
+	}
+
+	// A ceiling already exceeded is left alone rather than pulled down.
+	high := base
+	high.MissCompromisedFar = 0.999
+	if got := high.WithPhotometricShift(1).MissCompromisedFar; got != 0.999 {
+		t.Fatalf("shift pulled an above-ceiling miss down to %v", got)
+	}
+}

@@ -1,0 +1,412 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+
+	"mvml/internal/parallel"
+	"mvml/internal/xrand"
+)
+
+// Space bounds the sampled scenario space — tighter than the DSL's hard
+// validation caps so the search spends its budget in the interesting region.
+type Space struct {
+	// Routes are the candidate route numbers.
+	Routes []int
+	// MaxNPCs / MaxOcclusions / MaxFaults cap the sampled schedule sizes.
+	MaxNPCs       int
+	MaxOcclusions int
+	MaxFaults     int
+	// MaxFrames and DT are fixed per search so every evaluation has the
+	// same simulation budget.
+	MaxFrames int
+	DT        float64
+}
+
+// DefaultSpace is the search space of the checked-in corpus and the CI
+// smoke: all eight routes, up to three vehicles, two occlusion boxes and
+// four fault events, 45 simulated seconds per run.
+func DefaultSpace() Space {
+	return Space{
+		Routes:        []int{1, 2, 3, 4, 5, 6, 7, 8},
+		MaxNPCs:       3,
+		MaxOcclusions: 2,
+		MaxFaults:     4,
+		MaxFrames:     900,
+		DT:            0.05,
+	}
+}
+
+func (sp Space) validate() error {
+	if len(sp.Routes) == 0 {
+		return fmt.Errorf("scenario: search space has no routes")
+	}
+	if sp.MaxNPCs < 0 || sp.MaxNPCs > MaxNPCs ||
+		sp.MaxOcclusions < 0 || sp.MaxOcclusions > MaxOcclusions ||
+		sp.MaxFaults < 0 || sp.MaxFaults > MaxFaults {
+		return fmt.Errorf("scenario: search space caps outside DSL bounds")
+	}
+	if sp.MaxFrames < 1 || sp.MaxFrames > MaxFrameCap {
+		return fmt.Errorf("scenario: search space max_frames %d outside 1..%d", sp.MaxFrames, MaxFrameCap)
+	}
+	if !(sp.DT > 0 && sp.DT <= 0.5) {
+		return fmt.Errorf("scenario: search space dt %v outside (0, 0.5]", sp.DT)
+	}
+	return nil
+}
+
+// Config parameterises one falsification search.
+type Config struct {
+	// Space is the sampled region; the zero value means DefaultSpace.
+	Space Space
+	// Chains is the number of independent hill-climbing chains. Each chain
+	// is one parallel.Run replication on its own root.Split("chain", i)
+	// substream, so a search with fewer chains produces exactly a prefix
+	// of a larger search's chains — the property the CI rediscovery smoke
+	// relies on.
+	Chains int
+	// Steps is the evaluation budget per chain.
+	Steps int
+	// Workers bounds concurrency; it never changes the result set.
+	Workers int
+	// Seed is the search's root seed.
+	Seed uint64
+	// Minimize shrinks each found violation to a locally-minimal scenario
+	// before reporting it.
+	Minimize bool
+}
+
+// acceptWorseProb is the hill-climber's escape hatch: the probability of
+// accepting a candidate with a worse margin, so a chain cannot pin itself to
+// a local plateau for its whole budget.
+const acceptWorseProb = 0.1
+
+// Counterexample is one violating scenario found by the search.
+type Counterexample struct {
+	Scenario Scenario `json:"scenario"`
+	Metrics  Metrics  `json:"metrics"`
+	// Chain and Step locate the discovery within the search, for
+	// reproducing a single find without the full budget.
+	Chain int `json:"chain"`
+	Step  int `json:"step"`
+}
+
+// TTCBucket is one bin of the explored-scenario MinTTC distribution.
+type TTCBucket struct {
+	// Lo and Hi bound the bin, [Lo, Hi); the last bin is closed at TTCCap.
+	Lo    float64 `json:"lo"`
+	Hi    float64 `json:"hi"`
+	Count int     `json:"count"`
+}
+
+// ttcEdges are the histogram bin edges (seconds).
+var ttcEdges = []float64{0, 0.5, 1, 2, 5, 10, 30, 60}
+
+// Report summarises a search.
+type Report struct {
+	// Explored counts scenario evaluations across all chains (excluding
+	// minimization shrink attempts).
+	Explored int `json:"explored"`
+	// Violations counts raw violating evaluations before deduplication.
+	Violations int `json:"violations"`
+	// TTCHistogram is the MinTTC distribution over explored scenarios.
+	TTCHistogram []TTCBucket `json:"ttc_histogram"`
+	// Counterexamples are the deduplicated (by canonical scenario bytes)
+	// violations in chain-then-step order, minimized when cfg.Minimize.
+	Counterexamples []Counterexample `json:"counterexamples"`
+}
+
+// chainResult is one chain's contribution, collected in replication order.
+type chainResult struct {
+	explored int
+	ttcs     []float64
+	ces      []Counterexample
+}
+
+// Search runs the falsifier: Chains independent hill-climbing chains, each
+// sampling a scenario, evaluating it, and proposing mutations, accepting
+// those that shrink the safety margin (or, rarely, any — see
+// acceptWorseProb); every violation is recorded (and optionally minimized)
+// and the chain restarts from a fresh sample. The report is deterministic in
+// (Space, Chains, Steps, Seed): the worker count changes wall-clock time
+// only.
+func Search(cfg Config) (*Report, error) {
+	if cfg.Space.Routes == nil {
+		cfg.Space = DefaultSpace()
+	}
+	if err := cfg.Space.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Chains < 1 || cfg.Steps < 1 {
+		return nil, fmt.Errorf("scenario: need at least 1 chain and 1 step, got %d/%d", cfg.Chains, cfg.Steps)
+	}
+	root := xrand.New(cfg.Seed)
+	results, err := parallel.Run(root, "chain", cfg.Chains,
+		parallel.Options{Workers: cfg.Workers},
+		func(rep int, rng *xrand.Rand) (chainResult, error) {
+			return runChain(cfg, rep, rng)
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &Report{}
+	for _, e := range ttcEdges[:len(ttcEdges)-1] {
+		rep.TTCHistogram = append(rep.TTCHistogram, TTCBucket{Lo: e})
+	}
+	for i := range rep.TTCHistogram {
+		rep.TTCHistogram[i].Hi = ttcEdges[i+1]
+	}
+	seen := map[string]bool{}
+	for _, cr := range results {
+		rep.Explored += cr.explored
+		for _, ttc := range cr.ttcs {
+			for i := len(rep.TTCHistogram) - 1; i >= 0; i-- {
+				if ttc >= rep.TTCHistogram[i].Lo {
+					rep.TTCHistogram[i].Count++
+					break
+				}
+			}
+		}
+		rep.Violations += len(cr.ces)
+		for _, ce := range cr.ces {
+			fp := Fingerprint(ce.Scenario)
+			if seen[fp] {
+				continue
+			}
+			seen[fp] = true
+			rep.Counterexamples = append(rep.Counterexamples, ce)
+		}
+	}
+	return rep, nil
+}
+
+// runChain is one chain's sequential mutate-and-accept loop. Everything
+// stochastic comes from the chain's own rng, so the chain's trajectory is a
+// pure function of (search seed, chain index).
+func runChain(cfg Config, chain int, rng *xrand.Rand) (chainResult, error) {
+	var (
+		cr   chainResult
+		cur  Scenario
+		curM Metrics
+		have bool
+	)
+	for step := 0; step < cfg.Steps; step++ {
+		var cand Scenario
+		if have {
+			cand = Mutate(cfg.Space, cur, rng)
+		} else {
+			cand = Sample(cfg.Space, rng)
+		}
+		m, err := Evaluate(cand)
+		if err != nil {
+			// Sample/Mutate only emit valid scenarios; an error here is a
+			// bug worth surfacing, not skipping.
+			return chainResult{}, fmt.Errorf("scenario: chain %d step %d: %w", chain, step, err)
+		}
+		cr.explored++
+		cr.ttcs = append(cr.ttcs, m.MinTTC)
+		if m.Violation {
+			ce := Counterexample{Scenario: cand, Metrics: m, Chain: chain, Step: step}
+			if cfg.Minimize {
+				ce.Scenario, ce.Metrics = Minimize(cand, m)
+			}
+			cr.ces = append(cr.ces, ce)
+			have = false // restart from a fresh sample
+			continue
+		}
+		if !have || m.Margin < curM.Margin || rng.Float64() < acceptWorseProb {
+			cur, curM, have = cand, m, true
+		}
+	}
+	return cr, nil
+}
+
+// round3 snaps a sampled float to a 1e-3 grid: canonical JSON stays short
+// and shrink steps land on exactly representable values.
+func round3(v float64) float64 {
+	return math.Round(v*1000) / 1000
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Sample draws a uniform-ish random scenario from the space. The result is
+// always valid: `go vet`-grade guarantees live in the Validate call inside
+// MustEncode, and FuzzScenarioRun leans on this postcondition.
+func Sample(sp Space, rng *xrand.Rand) Scenario {
+	s := Scenario{
+		Version:   DSLVersion,
+		Route:     sp.Routes[rng.Intn(len(sp.Routes))],
+		Seed:      uint64(rng.Intn(1_000_000)),
+		DT:        sp.DT,
+		MaxFrames: sp.MaxFrames,
+		Cruise:    round3(rng.Uniform(8, 20)),
+		NPCs:      []NPCSpec{},
+	}
+	for i, n := 0, rng.Intn(sp.MaxNPCs+1); i < n; i++ {
+		s.NPCs = append(s.NPCs, sampleNPC(rng))
+	}
+	for i, n := 0, rng.Intn(sp.MaxOcclusions+1); i < n; i++ {
+		s.Occlusions = append(s.Occlusions, sampleOcclusion(rng))
+	}
+	s.Perception = PerceptionSpec{
+		Versions:    1 + rng.Intn(3),
+		Seed:        uint64(rng.Intn(1_000_000)),
+		Photometric: round3(rng.Uniform(0, 1)),
+		MissScale:   round3(rng.Uniform(0.5, 3)),
+		NoiseScale:  round3(rng.Uniform(0.5, 3)),
+		Ghost:       round3(rng.Uniform(0, 0.8)),
+		CommonMode:  round3(rng.Uniform(0, 1)),
+		MatchRadius: round3(rng.Uniform(1, 3)),
+	}
+	t := 0.0
+	for i, n := 0, rng.Intn(sp.MaxFaults+1); i < n; i++ {
+		t = round3(t + rng.Uniform(0.5, 12))
+		s.Faults = append(s.Faults, sampleFault(rng, t, s.Perception.Versions))
+	}
+	return s
+}
+
+func sampleNPC(rng *xrand.Rand) NPCSpec {
+	n := NPCSpec{
+		StartFrac: round3(rng.Uniform(0.05, 0.9)),
+		Radius:    round3(rng.Uniform(0.8, 2.2)),
+	}
+	until := 0.0
+	for i, k := 0, 1+rng.Intn(3); i < k; i++ {
+		until = round3(until + rng.Uniform(2, 15))
+		n.Phases = append(n.Phases, PhaseSpec{Until: until, Speed: round3(rng.Uniform(0, 12))})
+	}
+	return n
+}
+
+func sampleOcclusion(rng *xrand.Rand) OcclusionSpec {
+	s0 := round3(rng.Uniform(0, 0.8))
+	s1 := round3(math.Min(1, s0+rng.Uniform(0.05, 0.3)))
+	t0 := round3(rng.Uniform(0, 20))
+	return OcclusionSpec{
+		S0: s0, S1: s1,
+		HalfWidth: round3(rng.Uniform(1, 6)),
+		T0:        t0,
+		T1:        round3(t0 + rng.Uniform(2, 20)),
+	}
+}
+
+func sampleFault(rng *xrand.Rand, t float64, versions int) FaultEvent {
+	f := FaultEvent{Time: t, Version: rng.Intn(versions), Action: ActionCompromise}
+	if rng.Float64() < 0.25 {
+		f.Action = ActionRestore
+	}
+	kinds := []string{"", "weight-value", "bit-flip", "stuck-at-zero"}
+	f.Kind = kinds[rng.Intn(len(kinds))]
+	return f
+}
+
+// Clone deep-copies a scenario so mutation never aliases the original's
+// schedule slices.
+func Clone(s Scenario) Scenario {
+	c := s
+	c.NPCs = make([]NPCSpec, len(s.NPCs))
+	for i, n := range s.NPCs {
+		c.NPCs[i] = n
+		c.NPCs[i].Phases = append([]PhaseSpec(nil), n.Phases...)
+	}
+	c.Occlusions = append([]OcclusionSpec(nil), s.Occlusions...)
+	if s.Faults != nil {
+		c.Faults = append([]FaultEvent(nil), s.Faults...)
+	}
+	return c
+}
+
+// Mutate returns a neighbour of the scenario: one randomly chosen local
+// change, with the cruise-speed tweak as the universal fallback when the
+// drawn mutation does not apply (e.g. "remove an NPC" with none present).
+// Like Sample, it only emits valid scenarios.
+func Mutate(sp Space, s Scenario, rng *xrand.Rand) Scenario {
+	c := Clone(s)
+	switch rng.Intn(12) {
+	case 0: // re-roll route
+		c.Route = sp.Routes[rng.Intn(len(sp.Routes))]
+		return c
+	case 1: // re-roll the nuisance seeds
+		c.Seed = uint64(rng.Intn(1_000_000))
+		c.Perception.Seed = uint64(rng.Intn(1_000_000))
+		return c
+	case 2: // nudge an NPC spawn point
+		if len(c.NPCs) > 0 {
+			i := rng.Intn(len(c.NPCs))
+			c.NPCs[i].StartFrac = round3(clamp(c.NPCs[i].StartFrac+rng.Uniform(-0.1, 0.1), 0, 1))
+			return c
+		}
+	case 3: // nudge an NPC phase speed
+		if len(c.NPCs) > 0 {
+			i := rng.Intn(len(c.NPCs))
+			j := rng.Intn(len(c.NPCs[i].Phases))
+			c.NPCs[i].Phases[j].Speed = round3(clamp(c.NPCs[i].Phases[j].Speed+rng.Uniform(-3, 3), 0, 15))
+			return c
+		}
+	case 4: // add a vehicle
+		if len(c.NPCs) < sp.MaxNPCs {
+			c.NPCs = append(c.NPCs, sampleNPC(rng))
+			return c
+		}
+	case 5: // remove a vehicle
+		if len(c.NPCs) > 0 {
+			i := rng.Intn(len(c.NPCs))
+			c.NPCs = append(c.NPCs[:i], c.NPCs[i+1:]...)
+			return c
+		}
+	case 6: // photometric weather
+		c.Perception.Photometric = round3(clamp(c.Perception.Photometric+rng.Uniform(-0.25, 0.25), 0, 1))
+		return c
+	case 7: // error-model scales
+		c.Perception.MissScale = round3(clamp(c.Perception.MissScale+rng.Uniform(-0.5, 0.5), 0.5, 3))
+		c.Perception.NoiseScale = round3(clamp(c.Perception.NoiseScale+rng.Uniform(-0.5, 0.5), 0.5, 3))
+		return c
+	case 8: // correlated-failure dials
+		c.Perception.Ghost = round3(clamp(c.Perception.Ghost+rng.Uniform(-0.2, 0.2), 0, 1))
+		c.Perception.CommonMode = round3(clamp(c.Perception.CommonMode+rng.Uniform(-0.25, 0.25), 0, 1))
+		return c
+	case 9: // ensemble shape
+		c.Perception.Versions = 1 + rng.Intn(3)
+		c.Faults = retargetFaults(c.Faults, c.Perception.Versions)
+		return c
+	case 10: // add a fault event
+		if len(c.Faults) < sp.MaxFaults {
+			last := 0.0
+			if len(c.Faults) > 0 {
+				last = c.Faults[len(c.Faults)-1].Time
+			}
+			c.Faults = append(c.Faults, sampleFault(rng,
+				round3(last+rng.Uniform(0.5, 12)), c.Perception.Versions))
+			return c
+		}
+	case 11: // drop a fault event
+		if len(c.Faults) > 0 {
+			i := rng.Intn(len(c.Faults))
+			c.Faults = append(c.Faults[:i], c.Faults[i+1:]...)
+			return c
+		}
+	}
+	// Fallback: the always-applicable cruise tweak.
+	c.Cruise = round3(clamp(c.Cruise+rng.Uniform(-3, 3), 4, 25))
+	return c
+}
+
+// retargetFaults clamps fault targets into a shrunk ensemble.
+func retargetFaults(fs []FaultEvent, versions int) []FaultEvent {
+	for i := range fs {
+		if fs[i].Version >= versions {
+			fs[i].Version = versions - 1
+		}
+	}
+	return fs
+}

@@ -1,0 +1,137 @@
+package scenario
+
+// Determinism tests for the falsifier, following the golden-fixture pattern
+// of internal/experiments: the committed fixture pins the exact search
+// output, and every worker count must reproduce it byte-for-byte.
+//
+// Regenerate (only after an intentional search-semantics change) with:
+//
+//	go test ./internal/scenario -run TestFalsifierGolden -update-golden
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the falsifier golden fixture")
+
+// goldenWorkers mirrors the experiments golden test: the sequential fast
+// path plus two genuinely concurrent pool widths.
+var goldenWorkers = []int{1, 4, 8}
+
+// goldenConfig is a deliberately small search budget — enough to exercise
+// sampling, mutation, violation recording and minimization, small enough to
+// run on every `go test`.
+func goldenConfig(workers int) Config {
+	return Config{Chains: 4, Steps: 6, Workers: workers, Seed: 7, Minimize: true}
+}
+
+func TestFalsifierGolden(t *testing.T) {
+	for _, workers := range goldenWorkers {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			rep, err := Search(goldenConfig(workers))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := json.MarshalIndent(rep, "", "  ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, '\n')
+			path := filepath.Join("testdata", "falsify.golden.json")
+			if *updateGolden && workers == goldenWorkers[0] {
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(got) != string(want) {
+				t.Errorf("workers=%d: search output diverged from golden fixture\ngot:\n%s", workers, got)
+			}
+		})
+	}
+}
+
+// TestChainPrefixProperty: chains derive from root.Split("chain", i), which
+// depends only on (seed, i) — so a search with fewer chains must produce
+// exactly the counterexamples of the larger search's low-index chains. The
+// CI falsify-smoke leans on this: its 8-chain budget is guaranteed to retrace
+// the first 8 chains of the 24-chain corpus-generation run.
+func TestChainPrefixProperty(t *testing.T) {
+	small, err := Search(Config{Chains: 2, Steps: 6, Workers: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Search(Config{Chains: 5, Steps: 6, Workers: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prefix []Counterexample
+	for _, ce := range big.Counterexamples {
+		if ce.Chain < 2 {
+			prefix = append(prefix, ce)
+		}
+	}
+	a, _ := json.Marshal(small.Counterexamples)
+	b, _ := json.Marshal(prefix)
+	if string(a) != string(b) {
+		t.Fatalf("2-chain search is not a prefix of the 5-chain search:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestMinimizeProperties: minimization preserves the violation, never grows
+// the scenario, and is deterministic (a second pass is the identity).
+func TestMinimizeProperties(t *testing.T) {
+	rep, err := Search(Config{Chains: 6, Steps: 8, Workers: 8, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Counterexamples) == 0 {
+		t.Fatal("search budget found no violations; pick a different seed")
+	}
+	size := func(s Scenario) int {
+		n := len(s.Occlusions) + len(s.Faults)
+		for _, npc := range s.NPCs {
+			n += 1 + len(npc.Phases)
+		}
+		return n
+	}
+	for i, ce := range rep.Counterexamples {
+		min, mm := Minimize(ce.Scenario, ce.Metrics)
+		if !mm.Violation {
+			t.Fatalf("ce %d: minimization lost the violation", i)
+		}
+		if size(min) > size(ce.Scenario) {
+			t.Fatalf("ce %d: minimization grew the scenario", i)
+		}
+		again, am := Minimize(min, mm)
+		if string(again.MustEncode()) != string(min.MustEncode()) || am != mm {
+			t.Fatalf("ce %d: minimization is not a fixpoint", i)
+		}
+	}
+}
+
+// TestSearchRejectsBadConfig covers the config guard rails.
+func TestSearchRejectsBadConfig(t *testing.T) {
+	if _, err := Search(Config{Chains: 0, Steps: 5, Space: DefaultSpace()}); err == nil {
+		t.Fatal("zero chains accepted")
+	}
+	bad := DefaultSpace()
+	bad.MaxNPCs = MaxNPCs + 1
+	if _, err := Search(Config{Chains: 1, Steps: 1, Space: bad}); err == nil {
+		t.Fatal("out-of-bounds space accepted")
+	}
+	empty := DefaultSpace()
+	empty.Routes = []int{}
+	if _, err := Search(Config{Chains: 1, Steps: 1, Space: empty}); err == nil {
+		t.Fatal("empty route set accepted")
+	}
+}

@@ -1,0 +1,124 @@
+package scenario
+
+// Minimize shrinks a violating scenario to a local minimum: it greedily
+// applies structure-removing and knob-resetting reductions, keeping each
+// only if the reduced scenario still violates, until no reduction applies.
+// The process is fully deterministic (no randomness, fixed reduction order),
+// so the minimized form of a counterexample is a pure function of the
+// original — which is what keeps the search's output, and therefore the
+// checked-in corpus, reproducible.
+//
+// A minimal counterexample is the point of the corpus: when a future change
+// breaks the replay test, the diff against a scenario with one vehicle, no
+// spare occlusions and benign knobs names the causal ingredient directly.
+func Minimize(s Scenario, m Metrics) (Scenario, Metrics) {
+	if !m.Violation {
+		return s, m
+	}
+	for {
+		reduced := false
+		for _, cand := range reductions(s, m) {
+			cm, err := Evaluate(cand)
+			if err != nil || !cm.Violation {
+				continue
+			}
+			s, m = cand, cm
+			reduced = true
+			break // restart the reduction sweep from the smaller scenario
+		}
+		if !reduced {
+			return s, m
+		}
+	}
+}
+
+// reductions enumerates the candidate shrink steps for one sweep, most
+// aggressive first. Every candidate is valid by construction.
+func reductions(s Scenario, m Metrics) []Scenario {
+	var out []Scenario
+	add := func(c Scenario) { out = append(out, c) }
+
+	// Trim the run right after the first collision: shorter replays, and
+	// post-impact frames cannot be what makes the scenario a violation.
+	if m.Collided && m.FirstCollisionFrame >= 0 {
+		trimmed := m.FirstCollisionFrame + 20
+		if trimmed >= 1 && (s.MaxFrames == 0 || trimmed < s.MaxFrames) {
+			c := Clone(s)
+			c.MaxFrames = trimmed
+			add(c)
+		}
+	}
+	for i := range s.NPCs {
+		c := Clone(s)
+		c.NPCs = append(c.NPCs[:i], c.NPCs[i+1:]...)
+		add(c)
+	}
+	for i := range s.Occlusions {
+		c := Clone(s)
+		c.Occlusions = append(c.Occlusions[:i], c.Occlusions[i+1:]...)
+		add(c)
+	}
+	for i := range s.Faults {
+		c := Clone(s)
+		c.Faults = append(c.Faults[:i], c.Faults[i+1:]...)
+		add(c)
+	}
+	for i := range s.NPCs {
+		if len(s.NPCs[i].Phases) > 1 {
+			c := Clone(s)
+			c.NPCs[i].Phases = c.NPCs[i].Phases[:len(c.NPCs[i].Phases)-1]
+			add(c)
+		}
+	}
+	// Reset environment knobs to benign values, one at a time, so the
+	// surviving non-benign knobs are exactly the causal ones.
+	knobs := []func(*Scenario) bool{
+		func(c *Scenario) bool {
+			if c.Perception.Photometric == 0 {
+				return false
+			}
+			c.Perception.Photometric = 0
+			return true
+		},
+		func(c *Scenario) bool {
+			if c.Perception.MissScale == 1 {
+				return false
+			}
+			c.Perception.MissScale = 1
+			return true
+		},
+		func(c *Scenario) bool {
+			if c.Perception.NoiseScale == 1 {
+				return false
+			}
+			c.Perception.NoiseScale = 1
+			return true
+		},
+		func(c *Scenario) bool {
+			if c.Perception.Ghost == 0 {
+				return false
+			}
+			c.Perception.Ghost = 0
+			return true
+		},
+		func(c *Scenario) bool {
+			if c.Perception.CommonMode == 0 {
+				return false
+			}
+			c.Perception.CommonMode = 0
+			return true
+		},
+	}
+	for _, k := range knobs {
+		c := Clone(s)
+		if k(&c) {
+			add(c)
+		}
+	}
+	if s.Name != "" {
+		c := Clone(s)
+		c.Name = ""
+		add(c)
+	}
+	return out
+}

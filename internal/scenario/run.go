@@ -1,0 +1,177 @@
+package scenario
+
+import (
+	"fmt"
+
+	"mvml/internal/core"
+	"mvml/internal/drivesim"
+	"mvml/internal/perception"
+	"mvml/internal/xrand"
+)
+
+// Evaluate runs one scenario end to end — ensemble construction, fault
+// schedule, occlusion channel, driving simulation — and scores the outcome.
+// It is a pure function of the scenario: same input, same Metrics, on any
+// machine, at any concurrency. All randomness derives from the scenario's
+// own seeds via xrand.Split substreams; Evaluate itself draws nothing from
+// any shared generator, which is what lets the falsifier run thousands of
+// evaluations across a worker pool without losing reproducibility.
+func Evaluate(s Scenario) (Metrics, error) {
+	if err := s.Validate(); err != nil {
+		return Metrics{}, err
+	}
+	route, _, err := drivesim.Route(s.Route)
+	if err != nil {
+		return Metrics{}, err
+	}
+
+	// Traffic from the DSL. The slice is always non-nil so drivesim treats
+	// an NPC-free scenario as an open road rather than substituting the
+	// route's scripted jam.
+	npcs := make([]*drivesim.NPC, 0, len(s.NPCs))
+	for i, spec := range s.NPCs {
+		phases := make([]drivesim.SpeedPhase, len(spec.Phases))
+		for j, ph := range spec.Phases {
+			phases[j] = drivesim.SpeedPhase{Until: ph.Until, Speed: ph.Speed}
+		}
+		npc, err := drivesim.NewNPC(i+1, route, spec.StartFrac*route.Length(), phases)
+		if err != nil {
+			return Metrics{}, fmt.Errorf("scenario: npc %d: %w", i, err)
+		}
+		if spec.Radius != 0 {
+			npc.Radius = spec.Radius
+		}
+		npcs = append(npcs, npc)
+	}
+
+	// Detector error model under the scenario's environment knobs.
+	params := detectorParams(s.Perception)
+	versions := make([]*perception.DetectorVersion, s.Perception.Versions)
+	coreVersions := make([]core.Version[drivesim.Scene, []drivesim.Detection], s.Perception.Versions)
+	for i := range versions {
+		v, err := perception.NewDetectorVersion(fmt.Sprintf("v%d", i+1), params, s.Perception.Seed)
+		if err != nil {
+			return Metrics{}, fmt.Errorf("scenario: version %d: %w", i, err)
+		}
+		versions[i] = v
+		coreVersions[i] = v
+	}
+	// The stochastic fault processes are frozen (DisableFaults): the only
+	// compromises in a scenario are the scheduled FaultEvents, applied by
+	// the channel below directly to the version behaviour. The system keeps
+	// believing its modules are healthy — the undetected-compromise model
+	// the voter exists to survive.
+	sys, err := core.NewSystem[drivesim.Scene, []drivesim.Detection](
+		coreVersions,
+		perception.NewDetectionVoter(s.Perception.MatchRadius),
+		core.Config{DisableFaults: true},
+		xrand.New(s.Seed).Split("core", 0))
+	if err != nil {
+		return Metrics{}, fmt.Errorf("scenario: system: %w", err)
+	}
+
+	channel := &sensorChannel{
+		pipe:     perception.NewPipelineFromSystem(sys),
+		route:    route,
+		routeLen: route.Length(),
+		occl:     s.Occlusions,
+		faults:   s.Faults,
+		versions: versions,
+	}
+	res, err := drivesim.Run(drivesim.Config{
+		RouteNumber: s.Route,
+		DT:          s.DT,
+		MaxFrames:   s.MaxFrames,
+		CruiseSpeed: s.Cruise,
+		Traffic:     npcs,
+	}, channel, xrand.New(s.Seed).Split("sim", 0))
+	if err != nil {
+		return Metrics{}, fmt.Errorf("scenario: run: %w", err)
+	}
+	return Score(res), nil
+}
+
+// detectorParams derives the ensemble error model from the perception spec:
+// the Table VI calibration scaled by the scenario's environment knobs.
+func detectorParams(p PerceptionSpec) perception.DetectorParams {
+	d := perception.DefaultDetectorParams()
+	clampProb := func(v float64) float64 {
+		if v > 0.98 {
+			return 0.98
+		}
+		return v
+	}
+	d.MissHealthy = clampProb(d.MissHealthy * p.MissScale)
+	d.MissCompromisedNear = clampProb(d.MissCompromisedNear * p.MissScale)
+	d.MissCompromisedFar = clampProb(d.MissCompromisedFar * p.MissScale)
+	d.NoiseHealthy *= p.NoiseScale
+	d.NoiseCompromisedNear *= p.NoiseScale
+	d.NoiseCompromisedFar *= p.NoiseScale
+	d.GhostCompromised = p.Ghost
+	d.CommonMode = p.CommonMode
+	d.CommonModeNear = p.CommonMode
+	d.MatchRadius = p.MatchRadius
+	return d.WithPhotometricShift(p.Photometric)
+}
+
+// sensorChannel sits between the simulator and the perception pipeline. It
+// is the scenario's environment model: scheduled fault events flip version
+// behaviour at their simulated times, and occlusion boxes remove
+// ground-truth objects from the scene before perception sees them. Ground
+// truth itself — and therefore the safety scoring — is untouched.
+type sensorChannel struct {
+	pipe     *perception.Pipeline
+	route    *drivesim.Path
+	routeLen float64
+	occl     []OcclusionSpec
+	faults   []FaultEvent
+	versions []*perception.DetectorVersion
+	next     int // first fault event not yet applied
+}
+
+var _ drivesim.PerceptionSystem = (*sensorChannel)(nil)
+
+// Perceive implements drivesim.PerceptionSystem.
+func (c *sensorChannel) Perceive(t float64, scene drivesim.Scene) (drivesim.PerceptionResult, error) {
+	for c.next < len(c.faults) && c.faults[c.next].Time <= t {
+		f := c.faults[c.next]
+		c.next++
+		v := c.versions[f.Version]
+		if f.Action == ActionCompromise {
+			if err := v.Compromise(); err != nil {
+				return drivesim.PerceptionResult{}, err
+			}
+		} else if err := v.Restore(); err != nil {
+			return drivesim.PerceptionResult{}, err
+		}
+	}
+	if len(c.occl) > 0 && len(scene.Objects) > 0 {
+		visible := make([]drivesim.Object, 0, len(scene.Objects))
+		for _, obj := range scene.Objects {
+			if !c.occluded(t, obj) {
+				visible = append(visible, obj)
+			}
+		}
+		scene.Objects = visible
+	}
+	return c.pipe.Perceive(t, scene)
+}
+
+// occluded reports whether any occlusion box hides the object at time t.
+func (c *sensorChannel) occluded(t float64, obj drivesim.Object) bool {
+	objS := c.route.NearestArcLength(obj.Pos)
+	frac := objS / c.routeLen
+	lateral := obj.Pos.Dist(c.route.PointAt(objS))
+	for _, o := range c.occl {
+		if t >= o.T0 && t < o.T1 && frac >= o.S0 && frac <= o.S1 && lateral <= o.HalfWidth {
+			return true
+		}
+	}
+	return false
+}
+
+// FunctionalModules implements drivesim.PerceptionSystem.
+func (c *sensorChannel) FunctionalModules() int { return c.pipe.FunctionalModules() }
+
+// RejuvenatingModules implements drivesim.PerceptionSystem.
+func (c *sensorChannel) RejuvenatingModules() int { return c.pipe.RejuvenatingModules() }

@@ -1,0 +1,75 @@
+package scenario
+
+import "mvml/internal/drivesim"
+
+// TTCViolation is the minimum time-to-collision (s) below which a run counts
+// as a safety violation even without contact: under the simulator's braking
+// model an approach this tight leaves no recovery margin.
+const TTCViolation = 0.75
+
+// Safety-margin weights. The margin is the falsifier's objective — lower is
+// worse — so the weights encode which near-miss structure the hill-climber
+// is pulled toward: undetected in-corridor obstacles hardest, physically
+// unrecoverable speeds next, voter skips least (a skip is the *safe* failure
+// mode; it only matters through the exposure it creates).
+const (
+	weightMissed = 2.0
+	weightUnsafe = 1.5
+	weightSkip   = 0.5
+)
+
+// Metrics is the scored outcome of one scenario evaluation, stored verbatim
+// in corpus entries so a replay can assert bit-identical behaviour.
+type Metrics struct {
+	TotalFrames          int  `json:"total_frames"`
+	CollisionFrames      int  `json:"collision_frames,omitempty"`
+	FirstCollisionFrame  int  `json:"first_collision_frame"`
+	Collided             bool `json:"collided"`
+	Completed            bool `json:"completed"`
+	SkippedFrames        int  `json:"skipped_frames,omitempty"`
+	MissedObstacleFrames int  `json:"missed_obstacle_frames,omitempty"`
+	UnsafeSpeedFrames    int  `json:"unsafe_speed_frames,omitempty"`
+	// MinTTC is the run's minimum time-to-collision (s), capped at
+	// drivesim.TTCCap, 0 on collision.
+	MinTTC float64 `json:"min_ttc"`
+	// Margin is the scalar safety margin the falsifier minimises; see
+	// Score.
+	Margin float64 `json:"margin"`
+	// Violation marks the run as a counterexample: a collision, or an
+	// approach tighter than TTCViolation.
+	Violation bool `json:"violation"`
+}
+
+// Score reduces a simulation result to search metrics. The margin is the
+// minimum TTC (negative once a collision occurs, more negative the longer
+// the contact lasted) minus weighted exposure fractions for missed
+// obstacles, stopping-envelope violations and voter skips — a smooth-ish
+// scalar that decreases monotonically as a run gets more dangerous, giving
+// the hill-climber gradient even between runs that both "merely" complete.
+func Score(res *drivesim.Result) Metrics {
+	m := Metrics{
+		TotalFrames:          res.TotalFrames,
+		CollisionFrames:      res.CollisionFrames,
+		FirstCollisionFrame:  res.FirstCollisionFrame,
+		Collided:             res.Collided,
+		Completed:            res.Completed,
+		SkippedFrames:        res.SkippedFrames,
+		MissedObstacleFrames: res.MissedObstacleFrames,
+		UnsafeSpeedFrames:    res.UnsafeSpeedFrames,
+		MinTTC:               res.MinTTC,
+	}
+	base := res.MinTTC
+	frames := float64(res.TotalFrames)
+	if frames == 0 {
+		frames = 1
+	}
+	if res.Collided {
+		base = -1 - float64(res.CollisionFrames)/frames
+	}
+	m.Margin = base -
+		weightMissed*float64(res.MissedObstacleFrames)/frames -
+		weightUnsafe*float64(res.UnsafeSpeedFrames)/frames -
+		weightSkip*float64(res.SkippedFrames)/frames
+	m.Violation = res.Collided || res.MinTTC <= TTCViolation
+	return m
+}

@@ -1,0 +1,85 @@
+package signs
+
+import (
+	"math"
+	"testing"
+)
+
+// TestPhotometricShiftZeroIsNoOp: datasets rendered with an explicit zero
+// shift must be byte-identical to the pre-knob output — the knob may not
+// perturb existing experiments, goldens or trained models.
+func TestPhotometricShiftZeroIsNoOp(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TrainPerClass, cfg.TestPerClass = 2, 2
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.PhotometricShift = 0
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Test {
+		for j := range a.Test[i].X.Data {
+			if a.Test[i].X.Data[j] != b.Test[i].X.Data[j] {
+				t.Fatalf("sample %d pixel %d differs under zero shift", i, j)
+			}
+		}
+	}
+}
+
+// TestPhotometricShiftDarkensAndCompresses: a positive shift must lower the
+// mean pixel value and reduce per-image dynamic range, monotonically in the
+// shift, without leaving [0, 1].
+func TestPhotometricShiftDarkensAndCompresses(t *testing.T) {
+	stats := func(shift float64) (mean, spread float64) {
+		cfg := DefaultConfig()
+		cfg.TrainPerClass, cfg.TestPerClass = 0, 4
+		cfg.PhotometricShift = shift
+		ds, err := Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum, sq float64
+		var n int
+		for _, s := range ds.Test {
+			for _, v := range s.X.Data {
+				f := float64(v)
+				if f < 0 || f > 1 {
+					t.Fatalf("pixel %v outside [0,1] at shift %v", f, shift)
+				}
+				sum += f
+				sq += f * f
+				n++
+			}
+		}
+		mean = sum / float64(n)
+		return mean, math.Sqrt(sq/float64(n) - mean*mean)
+	}
+	m0, s0 := stats(0)
+	m5, s5 := stats(0.5)
+	m9, s9 := stats(0.9)
+	if !(m9 < m5 && m5 < m0) {
+		t.Fatalf("mean not monotonically darker: %v %v %v", m0, m5, m9)
+	}
+	if !(s9 < s5 && s5 < s0) {
+		t.Fatalf("spread not monotonically compressed: %v %v %v", s0, s5, s9)
+	}
+}
+
+func TestPhotometricShiftValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PhotometricShift = 1.2
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("expected error for shift > 1")
+	}
+	cfg.PhotometricShift = math.NaN()
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("expected error for NaN shift")
+	}
+	cfg.PhotometricShift = -0.1
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("expected error for negative shift")
+	}
+}

@@ -59,6 +59,16 @@ type Config struct {
 	LowContrastProb float64
 	// Jitter is the max positional offset (pixels) of the sign centre.
 	Jitter int
+	// PhotometricShift in [0, 1] applies a global weather-like degradation
+	// on top of the per-sample nuisances: contrast compressed by up to
+	// 70% and brightness dropped by up to 0.25 at a full shift. Unlike
+	// the per-sample factors it hits EVERY instance, so it shifts the
+	// whole dataset into the hard regime where independently trained
+	// models fail together. 0 (the default) is a strict no-op — it draws
+	// nothing from the rng and touches no pixel — so existing datasets
+	// stay byte-identical. The scenario DSL exposes the same knob for the
+	// detection pipeline via perception.DetectorParams.WithPhotometricShift.
+	PhotometricShift float64
 	// Seed determines the entire dataset.
 	Seed uint64
 }
@@ -87,8 +97,10 @@ func (c Config) Validate() error {
 	if c.TrainPerClass+c.TestPerClass == 0 {
 		return fmt.Errorf("signs: empty dataset")
 	}
-	for _, p := range []float64{c.BlurProb, c.OcclusionProb, c.LowContrastProb} {
-		if p < 0 || p > 1 {
+	// !(p >= 0 && p <= 1) rather than p < 0 || p > 1: the former also
+	// rejects NaN, which slides through both directed comparisons.
+	for _, p := range []float64{c.BlurProb, c.OcclusionProb, c.LowContrastProb, c.PhotometricShift} {
+		if !(p >= 0 && p <= 1) {
 			return fmt.Errorf("signs: probability %v outside [0,1]", p)
 		}
 	}
@@ -189,6 +201,15 @@ func Render(class int, r *xrand.Rand, cfg Config) *tensor.Tensor {
 	if cfg.Noise > 0 {
 		for i := range img.Data {
 			img.Data[i] += float32(r.Normal(0, cfg.Noise))
+		}
+	}
+	// Global photometric shift: deterministic (no rng draws) and strictly
+	// gated so a zero shift leaves the sample byte-identical.
+	if cfg.PhotometricShift > 0 {
+		applyContrast(img, 1-0.7*cfg.PhotometricShift)
+		drop := float32(0.25 * cfg.PhotometricShift)
+		for i := range img.Data {
+			img.Data[i] -= drop
 		}
 	}
 	clamp01(img)

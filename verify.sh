@@ -28,10 +28,17 @@ go test -race -short ./...
 echo "==> go test ./..."
 go test ./...
 
+# Shuffle pass: test order must not matter. -short keeps the pass cheap;
+# any inter-test state dependence fails here with the seed printed for
+# reproduction.
+echo "==> go test -shuffle=on -short ./..."
+go test -shuffle=on -short ./...
+
 # Worker-count equivalence: the parallel fan-outs must reproduce the
 # committed sequential golden outputs byte-for-byte at workers 1, 4 and 8.
 echo "==> parallel equivalence (golden fixtures, workers 1/4/8)"
 go test ./internal/experiments -run TestParallelEquivalenceGolden -count=1
+go test ./internal/scenario -run TestFalsifierGolden -count=1
 
 # Fuzz smoke: a few seconds per target catches regressions in the voting
 # rules, quantile estimator and RNG stream derivation without the cost of a
@@ -42,5 +49,7 @@ go test ./internal/core -run '^$' -fuzz '^FuzzMedianVoter$' -fuzztime 5s
 go test ./internal/obs -run '^$' -fuzz '^FuzzHistogramQuantile$' -fuzztime 5s
 go test ./internal/xrand -run '^$' -fuzz '^FuzzXrandSplit$' -fuzztime 5s
 go test ./internal/nn -run '^$' -fuzz '^FuzzForwardBatchArena$' -fuzztime 5s
+go test ./internal/scenario -run '^$' -fuzz '^FuzzScenarioRoundTrip$' -fuzztime 5s
+go test ./internal/scenario -run '^$' -fuzz '^FuzzScenarioRun$' -fuzztime 5s
 
 echo "OK"
