@@ -73,10 +73,12 @@ END {
 echo "==> wrote $out"
 cat "$out"
 
-echo "==> go test -bench BenchmarkGemmInference (fused vs per-sample, batch 1/8/32)"
+echo "==> go test -bench BenchmarkGemmInference (per-sample vs fused vs packed vs int8, batch 1/8/32)"
 go test -run '^$' -bench '^BenchmarkGemmInference' -benchtime 20x -benchmem -count 1 . | tee "$raw"
 
 # BenchmarkGemmInference/model=lenet-small/path=fused/batch=8-8  20  1893092 ns/op  0 B/op  0 allocs/op
+# Speedups are all relative to the per-sample Forward loop; packed and int8
+# ride the same arena plumbing as fused, so column deltas isolate the kernels.
 awk -v ncpu="$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)" '
 /^BenchmarkGemmInference\// {
     split($1, parts, "/")
@@ -96,9 +98,13 @@ END {
         for (b = 1; b <= 32; b *= 2) {
             if (!((m, "fused", b) in ns)) continue
             per = ns[m, "persample", b]; fus = ns[m, "fused", b]
+            pk = ns[m, "packed", b]; i8 = ns[m, "int8", b]
             sp = fus > 0 ? per / fus : 0
-            printf "%s\n      \"batch=%d\": {\"persample_ns_per_op\": %d, \"fused_ns_per_op\": %d, \"speedup\": %.3f, \"persample_allocs_per_op\": %d, \"fused_allocs_per_op\": %d}", \
-                (first ? "" : ","), b, per, fus, sp, allocs[m, "persample", b], allocs[m, "fused", b]
+            spk = pk > 0 ? per / pk : 0
+            si8 = i8 > 0 ? per / i8 : 0
+            printf "%s\n      \"batch=%d\": {\"persample_ns_per_op\": %d, \"fused_ns_per_op\": %d, \"packed_ns_per_op\": %d, \"int8_ns_per_op\": %d, \"speedup\": %.3f, \"packed_speedup\": %.3f, \"int8_speedup\": %.3f, \"persample_allocs_per_op\": %d, \"fused_allocs_per_op\": %d, \"packed_allocs_per_op\": %d, \"int8_allocs_per_op\": %d}", \
+                (first ? "" : ","), b, per, fus, pk, i8, sp, spk, si8, \
+                allocs[m, "persample", b], allocs[m, "fused", b], allocs[m, "packed", b], allocs[m, "int8", b]
             first = 0
         }
         printf "\n    }"

@@ -1,11 +1,20 @@
 // Benchmarks for the fused batched-GEMM inference hot path: the per-sample
-// Forward loop against the arena-backed fused path, per architecture and
-// batch size. Run with
+// Forward loop against three arena-backed paths, per architecture and batch
+// size —
+//
+//	path=fused    the unpacked blocked kernels (DisablePacking; the
+//	              pre-packing baseline)
+//	path=packed   the default register-blocked packed kernels, bitwise
+//	              identical to fused
+//	path=int8     the quantized fixed-point path (symmetric per-layer
+//	              scales, exact int32 accumulation)
+//
+// Run with
 //
 //	go test -run '^$' -bench '^BenchmarkGemmInference' -benchmem .
 //
-// or via `./bench.sh`, which parses the output into BENCH_gemm.json. The
-// fused path must report 0 allocs/op in steady state (warmed arena, reused
+// or via `./bench.sh`, which parses the output into BENCH_gemm.json. Every
+// arena path must report 0 allocs/op in steady state (warmed arena, reused
 // prediction slice) — that is an acceptance criterion, not an aspiration.
 package mvml_test
 
@@ -52,20 +61,44 @@ func BenchmarkGemmInference(b *testing.B) {
 					}
 				}
 			})
-			b.Run(fmt.Sprintf("model=%s/path=fused/batch=%d", name, bsz), func(b *testing.B) {
-				ar := nn.NewInferenceArena()
-				preds, err := net.PredictBatchArena(batch, ar, nil) // warm the arena
+			benchArena := func(path string, configure func(*nn.InferenceArena)) {
+				b.Run(fmt.Sprintf("model=%s/path=%s/batch=%d", name, path, bsz), func(b *testing.B) {
+					ar := nn.NewInferenceArena()
+					configure(ar)
+					preds, err := net.PredictBatchArena(batch, ar, nil) // warm the arena
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						if preds, err = net.PredictBatchArena(batch, ar, preds); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			}
+			benchArena("fused", func(ar *nn.InferenceArena) { ar.DisablePacking = true })
+			benchArena("packed", func(*nn.InferenceArena) {})
+			benchArena("int8", func(ar *nn.InferenceArena) {
+				quant, err := nn.CalibrateInt8(net, calibSamples(b, samples), 32)
 				if err != nil {
 					b.Fatal(err)
 				}
-				b.ReportAllocs()
-				b.ResetTimer()
-				for i := 0; i < b.N; i++ {
-					if preds, err = net.PredictBatchArena(batch, ar, preds); err != nil {
-						b.Fatal(err)
-					}
-				}
+				ar.Quant = quant
 			})
 		}
 	}
+}
+
+// calibSamples wraps the benchmark inputs as a calibration set — the bench
+// measures kernel speed, not accuracy, so calibrating on the serving inputs
+// themselves is exactly right.
+func calibSamples(b *testing.B, xs []*tensor.Tensor) []nn.Sample {
+	b.Helper()
+	out := make([]nn.Sample, len(xs))
+	for i, x := range xs {
+		out[i] = nn.Sample{X: x}
+	}
+	return out
 }

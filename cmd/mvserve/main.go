@@ -23,6 +23,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -78,12 +80,14 @@ func serveFlags(fs *flag.FlagSet) func() serve.Config {
 	perClass := fs.Int("train-per-class", def.Dataset.TrainPerClass, "training images per class (with -train-epochs)")
 	injects := fs.Int("inject-count", def.InjectCount, "weights perturbed per compromise event")
 	gemmWorkers := fs.Int("gemm-workers", def.GemmWorkers, "row-tile fan-out of each worker's fused conv GEMMs (<=1 sequential)")
+	int8Versions := fs.String("int8-versions", "", "comma-separated version indices served through the int8 quantized path (e.g. 1 or 0,2)")
 	profileLayers := fs.Bool("profile-layers", false, "time every layer dispatch and count GEMM volumes into the metrics registry")
 	proactive := fs.Duration("proactive", 0, "proactive rejuvenation interval (0 = disabled)")
 	window := fs.Int("divergence-window", def.DivergenceWindow, "reactive-trigger observation window")
 	threshold := fs.Float64("divergence-threshold", def.DivergenceThreshold, "reactive-trigger disagreement fraction")
 	return func() serve.Config {
 		cfg := serve.DefaultConfig()
+		cfg.Int8Versions = parseIndexList(*int8Versions)
 		cfg.Versions = *versions
 		cfg.WorkersPerVersion = *workers
 		cfg.QueueDepth = *queue
@@ -101,6 +105,25 @@ func serveFlags(fs *flag.FlagSet) func() serve.Config {
 		cfg.DivergenceThreshold = *threshold
 		return cfg
 	}
+}
+
+// parseIndexList parses a comma-separated list of non-negative version
+// indices; malformed entries are dropped (Config.Validate still rejects
+// out-of-range indices).
+func parseIndexList(s string) []int {
+	if s == "" {
+		return nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mvserve: ignoring malformed version index %q\n", part)
+			continue
+		}
+		out = append(out, v)
+	}
+	return out
 }
 
 func cmdServe(args []string) error {

@@ -19,7 +19,10 @@ type InferBenchConfig struct {
 	// GemmWorkers is the row-tile fan-out of the fused path (<= 1
 	// sequential); predictions are identical for every value.
 	GemmWorkers int
-	Seed        uint64
+	// Int8 additionally measures the quantized fixed-point path (per-layer
+	// symmetric scales calibrated on the benchmark inputs).
+	Int8 bool
+	Seed uint64
 }
 
 // DefaultInferBenchConfig returns the measurement grid used by EXPERIMENTS.md.
@@ -28,27 +31,37 @@ func DefaultInferBenchConfig() InferBenchConfig {
 }
 
 // InferBenchRow is one (model, batch size) measurement: the per-sample
-// Forward loop against the fused batched-GEMM arena path.
+// Forward loop against the arena paths — the unpacked fused kernels, the
+// packed register-blocked kernels (bitwise identical, differentially checked
+// every iteration), and optionally the int8 quantized path.
 type InferBenchRow struct {
-	Model        string
-	Batch        int
-	PerSampleNs  float64 // wall time per batch, per-sample path
-	FusedNs      float64 // wall time per batch, fused arena path
-	Speedup      float64
-	FusedMallocs float64 // heap objects per batch on the fused path
+	Model         string
+	Batch         int
+	PerSampleNs   float64 // wall time per batch, per-sample path
+	FusedNs       float64 // wall time per batch, unpacked fused arena path
+	PackedNs      float64 // wall time per batch, packed arena path
+	Int8Ns        float64 // wall time per batch, int8 path (0 unless enabled)
+	Speedup       float64 // per-sample / fused
+	PackedSpeedup float64 // per-sample / packed
+	Int8Speedup   float64 // per-sample / int8 (0 unless enabled)
+	Int8Match     float64 // fraction of int8 predictions agreeing with float
+	FusedMallocs  float64 // heap objects per batch on the packed path
 }
 
 // InferBenchResult is the full measurement grid.
 type InferBenchResult struct {
 	GemmWorkers int
+	Int8        bool
 	Rows        []InferBenchRow
 }
 
 // RunInferBench measures the serving hot path: per-sample Forward versus the
-// fused batched-GEMM arena path, for every architecture and batch size. The
-// two paths are differentially checked on every iteration — a prediction
-// mismatch fails the run, so the speedup numbers can never come from a
-// diverging kernel.
+// arena paths, for every architecture and batch size. The float paths are
+// differentially checked on every iteration — a prediction mismatch fails
+// the run, so the speedup numbers can never come from a diverging kernel.
+// The int8 path reports its decision-agreement fraction instead (quantized
+// logits may legitimately flip borderline argmaxes; the committed golden
+// corpus in internal/nn pins the samples where they must not).
 func RunInferBench(cfg InferBenchConfig) (*InferBenchResult, error) {
 	if len(cfg.BatchSizes) == 0 {
 		cfg.BatchSizes = []int{1, 8, 32}
@@ -56,7 +69,7 @@ func RunInferBench(cfg InferBenchConfig) (*InferBenchResult, error) {
 	if cfg.Iters <= 0 {
 		cfg.Iters = 30
 	}
-	res := &InferBenchResult{GemmWorkers: cfg.GemmWorkers}
+	res := &InferBenchResult{GemmWorkers: cfg.GemmWorkers, Int8: cfg.Int8}
 	for _, name := range nn.AllModels() {
 		net, err := nn.NewModel(name, 7, xrand.New(cfg.Seed+uint64(name)))
 		if err != nil {
@@ -86,9 +99,16 @@ func benchOne(net *nn.Network, model string, bsz int, cfg InferBenchConfig) (Inf
 		return InferBenchRow{}, err
 	}
 
-	ar := nn.NewInferenceArena()
-	ar.GemmWorkers = cfg.GemmWorkers
-	preds, err := net.PredictBatchArena(batch, ar, nil) // warm the arena
+	arFused := nn.NewInferenceArena()
+	arFused.GemmWorkers = cfg.GemmWorkers
+	arFused.DisablePacking = true
+	arPacked := nn.NewInferenceArena()
+	arPacked.GemmWorkers = cfg.GemmWorkers
+	preds, err := net.PredictBatchArena(batch, arFused, nil) // warm both arenas
+	if err != nil {
+		return InferBenchRow{}, err
+	}
+	packedPreds, err := net.PredictBatchArena(batch, arPacked, nil)
 	if err != nil {
 		return InferBenchRow{}, err
 	}
@@ -119,46 +139,110 @@ func benchOne(net *nn.Network, model string, bsz int, cfg InferBenchConfig) (Inf
 					"inferbench: %s batch %d sample %d: fused class %d, per-sample %d",
 					model, bsz, i, preds[i], c)
 			}
+			if c != packedPreds[i] {
+				return InferBenchRow{}, fmt.Errorf(
+					"inferbench: %s batch %d sample %d: packed class %d, per-sample %d",
+					model, bsz, i, packedPreds[i], c)
+			}
 		}
 	}
 	perNs := float64(time.Since(start).Nanoseconds()) / float64(cfg.Iters)
+
+	start = time.Now()
+	for it := 0; it < cfg.Iters; it++ {
+		if preds, err = net.PredictBatchArena(batch, arFused, preds); err != nil {
+			return InferBenchRow{}, err
+		}
+	}
+	fusedNs := float64(time.Since(start).Nanoseconds()) / float64(cfg.Iters)
 
 	var ms0, ms1 runtime.MemStats
 	runtime.ReadMemStats(&ms0)
 	start = time.Now()
 	for it := 0; it < cfg.Iters; it++ {
-		if preds, err = net.PredictBatchArena(batch, ar, preds); err != nil {
+		if packedPreds, err = net.PredictBatchArena(batch, arPacked, packedPreds); err != nil {
 			return InferBenchRow{}, err
 		}
 	}
-	fusedNs := float64(time.Since(start).Nanoseconds()) / float64(cfg.Iters)
+	packedNs := float64(time.Since(start).Nanoseconds()) / float64(cfg.Iters)
 	runtime.ReadMemStats(&ms1)
 
-	return InferBenchRow{
-		Model:        model,
-		Batch:        bsz,
-		PerSampleNs:  perNs,
-		FusedNs:      fusedNs,
-		Speedup:      perNs / fusedNs,
-		FusedMallocs: float64(ms1.Mallocs-ms0.Mallocs) / float64(cfg.Iters),
-	}, nil
+	row := InferBenchRow{
+		Model:         model,
+		Batch:         bsz,
+		PerSampleNs:   perNs,
+		FusedNs:       fusedNs,
+		PackedNs:      packedNs,
+		Speedup:       perNs / fusedNs,
+		PackedSpeedup: perNs / packedNs,
+		FusedMallocs:  float64(ms1.Mallocs-ms0.Mallocs) / float64(cfg.Iters),
+	}
+
+	if cfg.Int8 {
+		calib := make([]nn.Sample, len(samples))
+		for i, x := range samples {
+			calib[i] = nn.Sample{X: x}
+		}
+		quant, err := nn.CalibrateInt8(net, calib, 32)
+		if err != nil {
+			return InferBenchRow{}, err
+		}
+		arInt8 := nn.NewInferenceArena()
+		arInt8.GemmWorkers = cfg.GemmWorkers
+		arInt8.Quant = quant
+		int8Preds, err := net.PredictBatchArena(batch, arInt8, nil) // warm
+		if err != nil {
+			return InferBenchRow{}, err
+		}
+		match := 0
+		for i, c := range int8Preds {
+			if c == packedPreds[i] {
+				match++
+			}
+		}
+		row.Int8Match = float64(match) / float64(bsz)
+		start = time.Now()
+		for it := 0; it < cfg.Iters; it++ {
+			if int8Preds, err = net.PredictBatchArena(batch, arInt8, int8Preds); err != nil {
+				return InferBenchRow{}, err
+			}
+		}
+		row.Int8Ns = float64(time.Since(start).Nanoseconds()) / float64(cfg.Iters)
+		row.Int8Speedup = perNs / row.Int8Ns
+	}
+	return row, nil
 }
 
 // Render formats the grid as an aligned table.
 func (r *InferBenchResult) Render() string {
 	t := &Table{
-		Title:   "Fused batched-GEMM inference vs per-sample Forward",
-		Headers: []string{"Model", "Batch", "Per-sample/batch", "Fused/batch", "Speedup", "Fused mallocs/batch"},
+		Title: "Batched-GEMM inference vs per-sample Forward",
+		Headers: []string{"Model", "Batch", "Per-sample/batch", "Fused/batch",
+			"Packed/batch", "Fused x", "Packed x", "Packed mallocs/batch"},
 		Notes: []string{fmt.Sprintf(
-			"gemm workers: %d; predictions differentially verified each iteration", r.GemmWorkers)},
+			"gemm workers: %d; float paths differentially verified each iteration", r.GemmWorkers)},
+	}
+	if r.Int8 {
+		t.Headers = append(t.Headers, "Int8/batch", "Int8 x", "Int8 agree")
+		t.Notes = append(t.Notes,
+			"int8: per-layer symmetric scales calibrated on the bench inputs; agreement vs float argmax")
 	}
 	for _, row := range r.Rows {
-		t.AddRow(row.Model,
+		cells := []string{row.Model,
 			fmt.Sprintf("%d", row.Batch),
 			time.Duration(row.PerSampleNs).String(),
 			time.Duration(row.FusedNs).String(),
+			time.Duration(row.PackedNs).String(),
 			fmt.Sprintf("%.2fx", row.Speedup),
-			fmt.Sprintf("%.1f", row.FusedMallocs))
+			fmt.Sprintf("%.2fx", row.PackedSpeedup),
+			fmt.Sprintf("%.1f", row.FusedMallocs)}
+		if r.Int8 {
+			cells = append(cells,
+				time.Duration(row.Int8Ns).String(),
+				fmt.Sprintf("%.2fx", row.Int8Speedup),
+				fmt.Sprintf("%.0f%%", row.Int8Match*100))
+		}
+		t.AddRow(cells...)
 	}
 	return t.String()
 }

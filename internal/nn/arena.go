@@ -28,7 +28,28 @@ type InferenceArena struct {
 	// default nil costs one branch per layer.
 	Profiler ForwardProfiler
 
+	// DisablePacking forces Conv2D and Dense back onto the unpacked fused
+	// kernels (tensor.GemmParallel / GemmTransB). Answers are bitwise
+	// identical either way — this knob exists so benchmarks can measure the
+	// packed kernels against the baseline on the same code path.
+	DisablePacking bool
+
+	// Quant, when non-nil, switches every layer with a calibrated activation
+	// scale onto the int8 quantized kernels (see CalibrateInt8). Layers
+	// without a scale keep the float path, so a partially calibrated network
+	// still serves.
+	Quant *QuantParams
+
 	bufs map[arenaKey]*tensor.Tensor
+	// packed caches per-layer packed GEMM operands; weight panels inside are
+	// keyed against weightEpoch and lazily repacked after InvalidateWeights.
+	packed map[Layer]*packedLayer
+	// weightEpoch counts InvalidateWeights calls. It starts at 1 so the
+	// zero-valued epoch of a fresh packedLayer is always stale.
+	weightEpoch uint64
+	// observer, when non-nil, sees every (layer, input) pair ahead of
+	// dispatch — the calibration hook.
+	observer func(l Layer, x *tensor.Tensor)
 	// profLayer labels GEMM observations with the layer currently being
 	// dispatched; maintained by profiledForward.
 	profLayer string
@@ -51,7 +72,11 @@ type arenaKey struct {
 
 // NewInferenceArena returns an empty arena; buffers are grown on demand.
 func NewInferenceArena() *InferenceArena {
-	return &InferenceArena{bufs: make(map[arenaKey]*tensor.Tensor)}
+	return &InferenceArena{
+		bufs:        make(map[arenaKey]*tensor.Tensor),
+		packed:      make(map[Layer]*packedLayer),
+		weightEpoch: 1,
+	}
 }
 
 // tensor returns the buffer for (owner, purpose) shaped as requested,
@@ -169,16 +194,39 @@ func (l *Center) ForwardBatchArena(x *tensor.Tensor, ar *InferenceArena) (*tenso
 }
 
 // ForwardBatchArena implements ArenaBatchLayer with one (B, in) × (out, in)ᵀ
-// GEMM into the arena, bitwise identical to the per-sample dot products.
+// GEMM into the arena, bitwise identical to the per-sample dot products. By
+// default the input is packed into register-block panels and multiplied
+// against the cached packed Wᵀ (repacked only after InvalidateWeights); with
+// a calibrated activation scale on ar.Quant the whole product runs in int8.
 func (d *Dense) ForwardBatchArena(x *tensor.Tensor, ar *InferenceArena) (*tensor.Tensor, error) {
 	out, in := d.W.Shape[0], d.W.Shape[1]
 	if len(x.Shape) != 2 || x.Shape[1] != in {
 		return nil, fmt.Errorf("dense %s: batched input shape %v, want (B, %d)", d.name, x.Shape, in)
 	}
 	b := x.Shape[0]
+	if xs, ok := ar.Quant.Scale(d); ok {
+		y, err := d.forwardArenaInt8(x, xs, b, out, in, ar)
+		if err != nil {
+			return nil, fmt.Errorf("dense %s: %w", d.name, err)
+		}
+		return y, nil
+	}
 	y := ar.tensor(d, arenaOut, b, out)
-	if err := tensor.GemmTransB(y, x, d.W); err != nil {
-		return nil, fmt.Errorf("dense %s: %w", d.name, err)
+	if ar.DisablePacking {
+		if err := tensor.GemmTransB(y, x, d.W); err != nil {
+			return nil, fmt.Errorf("dense %s: %w", d.name, err)
+		}
+	} else {
+		p, err := ar.denseWeightsPacked(d)
+		if err != nil {
+			return nil, fmt.Errorf("dense %s: %w", d.name, err)
+		}
+		if err := p.actA.Pack(x); err != nil {
+			return nil, fmt.Errorf("dense %s: %w", d.name, err)
+		}
+		if err := tensor.GemmPackedParallel(y, &p.actA, &p.wB, ar.GemmWorkers); err != nil {
+			return nil, fmt.Errorf("dense %s: %w", d.name, err)
+		}
 	}
 	ar.noteGemm(b, out, in)
 	for i := 0; i < b; i++ {
@@ -214,9 +262,29 @@ func (c *Conv2D) ForwardBatchArena(x *tensor.Tensor, ar *InferenceArena) (*tenso
 	if err := tensor.Im2ColBatch(x, kh, kw, c.Stride, c.Pad, cols); err != nil {
 		return nil, fmt.Errorf("conv %s: %w", c.name, err)
 	}
+	if xs, ok := ar.Quant.Scale(c); ok {
+		out, err := c.forwardArenaInt8(cols, xs, b, outC, oh, ow, ar)
+		if err != nil {
+			return nil, fmt.Errorf("conv %s: %w", c.name, err)
+		}
+		return out, nil
+	}
 	y := ar.tensor(c, arenaGemm, outC, b*spatial)
-	if err := tensor.GemmParallel(y, c.kernelMatrix(), cols, ar.GemmWorkers); err != nil {
-		return nil, fmt.Errorf("conv %s: %w", c.name, err)
+	if ar.DisablePacking {
+		if err := tensor.GemmParallel(y, c.kernelMatrix(), cols, ar.GemmWorkers); err != nil {
+			return nil, fmt.Errorf("conv %s: %w", c.name, err)
+		}
+	} else {
+		p, err := ar.convWeightsPacked(c)
+		if err != nil {
+			return nil, fmt.Errorf("conv %s: %w", c.name, err)
+		}
+		if err := p.actB.Pack(cols); err != nil {
+			return nil, fmt.Errorf("conv %s: %w", c.name, err)
+		}
+		if err := tensor.GemmPackedParallel(y, &p.wA, &p.actB, ar.GemmWorkers); err != nil {
+			return nil, fmt.Errorf("conv %s: %w", c.name, err)
+		}
 	}
 	ar.noteGemm(outC, b*spatial, inC*kh*kw)
 	// Reorder (outC, B·oh·ow) → (B, outC, oh, ow), adding the bias on the

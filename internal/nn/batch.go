@@ -77,6 +77,9 @@ func forwardBatchLayers(layers []Layer, x *tensor.Tensor, ar *InferenceArena) (*
 // path (see forwardBatchLayers).
 func forwardOneBatch(l Layer, x *tensor.Tensor, ar *InferenceArena) (*tensor.Tensor, error) {
 	if ar != nil {
+		if ar.observer != nil {
+			ar.observer(l, x)
+		}
 		if al, ok := l.(ArenaBatchLayer); ok {
 			if ar.Profiler != nil {
 				return profiledForward(al, l, x, ar)

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"mvml/internal/core"
 	"mvml/internal/nn"
@@ -55,10 +56,13 @@ type versionAnswer struct {
 
 // worker is one replica plus its private stop signal, so the pool can be
 // shrunk one worker at a time (autoscaling) without closing the shared jobs
-// channel.
+// channel. quant carries the replica's calibrated int8 activation scales
+// (nil on float pools); scales are keyed by layer identity, so they belong
+// to exactly this replica's network.
 type worker struct {
-	nv   *core.NNVersion
-	stop chan struct{}
+	nv    *core.NNVersion
+	quant *nn.QuantParams
+	stop  chan struct{}
 }
 
 // pool runs one version: a set of workers, each owning a private replica
@@ -74,11 +78,24 @@ type pool struct {
 	gemmWorkers int
 	wg          sync.WaitGroup
 
-	// factory builds one more replica (used by resize); nextReplica numbers
-	// replicas so each gets its own deterministic fault stream. Both are only
-	// touched while the pool is quiesced under the server's rejuvMu.
-	factory     func(replica int) (*core.NNVersion, error)
+	// factory builds one more replica (used by resize) together with its
+	// int8 calibration (nil for float pools); nextReplica numbers replicas so
+	// each gets its own deterministic fault stream. Both are only touched
+	// while the pool is quiesced under the server's rejuvMu.
+	factory     func(replica int) (*core.NNVersion, *nn.QuantParams, error)
 	nextReplica int
+
+	// weightEpoch counts weight swaps on this pool's replicas (compromise,
+	// rejuvenation restore). Workers compare it per job and invalidate their
+	// arena's packed weight panels when it moved — without this a
+	// rejuvenated replica would keep serving its compromised weights out of
+	// the packed-GEMM cache. Bumped only while the pool is quiesced; atomic
+	// because workers read it outside the lock.
+	weightEpoch atomic.Uint64
+
+	// quantized marks an int8 pool (status/reporting only; the workers'
+	// QuantParams do the actual switching).
+	quantized bool
 
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -112,8 +129,8 @@ func newPool(index int, name string, cfg Config, m *metrics) *pool {
 }
 
 // addWorker registers one replica; call before start.
-func (p *pool) addWorker(v *core.NNVersion) {
-	p.workers = append(p.workers, &worker{nv: v, stop: make(chan struct{})})
+func (p *pool) addWorker(v *core.NNVersion, quant *nn.QuantParams) {
+	p.workers = append(p.workers, &worker{nv: v, quant: quant, stop: make(chan struct{})})
 	p.nextReplica++
 }
 
@@ -135,7 +152,9 @@ func (p *pool) run(w *worker) {
 	ar := nn.NewInferenceArena()
 	ar.GemmWorkers = p.gemmWorkers
 	ar.Profiler = p.m.layerProfiler(p.name)
+	ar.Quant = w.quant
 	sink := p.m.spans
+	seenEpoch := p.weightEpoch.Load()
 	for {
 		select {
 		case <-w.stop:
@@ -143,6 +162,13 @@ func (p *pool) run(w *worker) {
 		case job, ok := <-p.jobs:
 			if !ok {
 				return
+			}
+			// A weight swap while this worker was idle (compromise or
+			// rejuvenation ran under quiescence) invalidates the packed
+			// weight panels cached in the arena.
+			if ep := p.weightEpoch.Load(); ep != seenEpoch {
+				ar.InvalidateWeights()
+				seenEpoch = ep
 			}
 			ans := versionAnswer{version: p.index}
 			if sink != nil {
@@ -209,6 +235,12 @@ func (p *pool) withQuiesced(fn func(*core.NNVersion) error) error {
 			first = err
 		}
 	}
+	// Every withQuiesced caller may have swapped weights (restore, fault
+	// injection); bumping the epoch unconditionally costs at worst one
+	// spurious repack per worker, while missing a bump would serve stale
+	// packed weights. Ordered before the pool reopens so every worker sees
+	// the new epoch ahead of its next job.
+	p.weightEpoch.Add(1)
 
 	p.mu.Lock()
 	if p.state == poolDraining {
@@ -250,7 +282,7 @@ func (p *pool) resize(n int) error {
 	if len(p.workers) < n {
 		cur := p.workers[0].nv.Network().CloneWeights()
 		for len(p.workers) < n {
-			nv, ferr := p.factory(p.nextReplica)
+			nv, quant, ferr := p.factory(p.nextReplica)
 			if ferr != nil {
 				err = ferr
 				break
@@ -260,7 +292,7 @@ func (p *pool) resize(n int) error {
 				break
 			}
 			p.nextReplica++
-			w := &worker{nv: nv, stop: make(chan struct{})}
+			w := &worker{nv: nv, quant: quant, stop: make(chan struct{})}
 			p.mu.Lock()
 			p.workers = append(p.workers, w)
 			p.mu.Unlock()
@@ -357,11 +389,12 @@ func (p *pool) divergenceRate() float64 {
 func (p *pool) status() VersionStatus {
 	p.mu.Lock()
 	st := VersionStatus{
-		Index:    p.index,
-		Name:     p.name,
-		State:    p.state.String(),
-		InFlight: p.pending,
-		Workers:  len(p.workers),
+		Index:     p.index,
+		Name:      p.name,
+		State:     p.state.String(),
+		InFlight:  p.pending,
+		Workers:   len(p.workers),
+		Quantized: p.quantized,
 	}
 	if p.windowFill > 0 {
 		st.Divergence = float64(p.disagreed) / float64(p.windowFill)

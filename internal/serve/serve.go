@@ -84,6 +84,15 @@ type Config struct {
 	// weights one compromise event perturbs.
 	InjectLayer int
 	InjectCount int
+	// Int8Versions lists version indices served through the fixed-point int8
+	// inference path: each listed version's replicas quantize their weights
+	// symmetrically and run the quantized GEMM kernels, with activation
+	// scales calibrated once per replica on the signs test split (see
+	// nn.CalibrateInt8). Decisions are verified against the float path by the
+	// golden-corpus gate in internal/nn; unlisted versions are untouched, so
+	// a mixed ensemble pits both numeric regimes against each other in the
+	// vote. Empty serves everything in float32.
+	Int8Versions []int
 	// GemmWorkers fans the fused convolution GEMMs of each inference worker
 	// out over row tiles (see tensor.GemmParallel); results are bitwise
 	// identical for every value. <= 1 keeps each worker single-threaded,
@@ -164,6 +173,11 @@ func (c Config) Validate() error {
 	}
 	if c.GemmWorkers < 0 {
 		return fmt.Errorf("serve: gemm workers %d", c.GemmWorkers)
+	}
+	for _, v := range c.Int8Versions {
+		if v < 0 || v >= c.Versions {
+			return fmt.Errorf("serve: int8 version %d outside [0,%d)", v, c.Versions)
+		}
 	}
 	if c.DivergenceWindow < 1 {
 		return fmt.Errorf("serve: divergence window %d", c.DivergenceWindow)
@@ -261,13 +275,20 @@ func New(cfg Config, rt *obs.Runtime) (*Server, error) {
 	}
 	root := xrand.New(cfg.Seed)
 
-	var train []nn.Sample
-	if cfg.TrainEpochs > 0 {
+	var train, calib []nn.Sample
+	if cfg.TrainEpochs > 0 || len(cfg.Int8Versions) > 0 {
 		ds, err := signs.Generate(cfg.Dataset)
 		if err != nil {
 			return nil, fmt.Errorf("serve: training data: %w", err)
 		}
-		train = ds.Train
+		if cfg.TrainEpochs > 0 {
+			train = ds.Train
+		}
+		if len(cfg.Int8Versions) > 0 {
+			// Int8 activation scales are calibrated on the test split — the
+			// same distribution the quantized versions will serve.
+			calib = ds.Test
+		}
 	}
 
 	s := &Server{
@@ -300,7 +321,14 @@ func New(cfg Config, rt *obs.Runtime) (*Server, error) {
 	}
 
 	for v := 0; v < cfg.Versions; v++ {
-		p, err := s.buildPool(v, root, train)
+		var vcalib []nn.Sample
+		for _, iv := range cfg.Int8Versions {
+			if iv == v {
+				vcalib = calib
+				break
+			}
+		}
+		p, err := s.buildPool(v, root, train, vcalib)
 		if err != nil {
 			s.haltPools()
 			return nil, err
@@ -332,7 +360,12 @@ func (s *Server) makeNetwork(v int, root *xrand.Rand) (*nn.Network, error) {
 // pool so the worker set can be grown later (autoscaling): xrand.Split is a
 // pure derivation, so replicas built after startup draw the same
 // deterministic streams they would have drawn at startup.
-func (s *Server) buildPool(v int, root *xrand.Rand, train []nn.Sample) (*pool, error) {
+//
+// A non-empty calib set marks the version as int8-served: every replica is
+// calibrated on it right after adopting the trained weights, so late-built
+// autoscale replicas derive exactly the scales their siblings got at startup
+// (replicas share weights and the calibration set is fixed).
+func (s *Server) buildPool(v int, root *xrand.Rand, train, calib []nn.Sample) (*pool, error) {
 	proto, err := s.makeNetwork(v, root)
 	if err != nil {
 		return nil, fmt.Errorf("serve: version %d: %w", v, err)
@@ -347,14 +380,21 @@ func (s *Server) buildPool(v int, root *xrand.Rand, train []nn.Sample) (*pool, e
 	weights := proto.CloneWeights()
 
 	p := newPool(v, proto.Name, s.cfg, s.m)
+	p.quantized = len(calib) > 0
 	layer, count := s.cfg.InjectLayer, s.cfg.InjectCount
-	p.factory = func(w int) (*core.NNVersion, error) {
+	p.factory = func(w int) (*core.NNVersion, *nn.QuantParams, error) {
 		net, err := s.makeNetwork(v, root)
 		if err != nil {
-			return nil, fmt.Errorf("serve: version %d replica %d: %w", v, w, err)
+			return nil, nil, fmt.Errorf("serve: version %d replica %d: %w", v, w, err)
 		}
 		if err := net.RestoreWeights(weights); err != nil {
-			return nil, fmt.Errorf("serve: version %d replica %d: %w", v, w, err)
+			return nil, nil, fmt.Errorf("serve: version %d replica %d: %w", v, w, err)
+		}
+		var quant *nn.QuantParams
+		if len(calib) > 0 {
+			if quant, err = nn.CalibrateInt8(net, calib, s.cfg.MaxBatch); err != nil {
+				return nil, nil, fmt.Errorf("serve: version %d replica %d: calibration: %w", v, w, err)
+			}
 		}
 		faultR := root.Split("fault", uint64(v)<<16|uint64(w))
 		nv, err := core.NewNNVersion(net, func(n *nn.Network) error {
@@ -366,16 +406,16 @@ func (s *Server) buildPool(v int, root *xrand.Rand, train []nn.Sample) (*pool, e
 			return nil
 		})
 		if err != nil {
-			return nil, fmt.Errorf("serve: version %d replica %d: %w", v, w, err)
+			return nil, nil, fmt.Errorf("serve: version %d replica %d: %w", v, w, err)
 		}
-		return nv, nil
+		return nv, quant, nil
 	}
 	for w := 0; w < s.cfg.WorkersPerVersion; w++ {
-		nv, err := p.factory(w)
+		nv, quant, err := p.factory(w)
 		if err != nil {
 			return nil, err
 		}
-		p.addWorker(nv)
+		p.addWorker(nv, quant)
 	}
 	p.start()
 	return p, nil
@@ -528,6 +568,7 @@ type VersionStatus struct {
 	State      string  `json:"state"`
 	InFlight   int     `json:"in_flight"`
 	Workers    int     `json:"workers"`
+	Quantized  bool    `json:"quantized,omitempty"`
 	Divergence float64 `json:"divergence"`
 }
 

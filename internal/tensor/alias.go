@@ -1,0 +1,23 @@
+package tensor
+
+import "unsafe"
+
+// overlaps reports whether two float32 slices share any backing memory. The
+// in-place GEMM kernels zero (or overwrite) their output before reading the
+// operands, so an output that aliases an input is silently corrupted — the
+// shape checks reject it up front instead. Disjoint sub-slices of one
+// backing array (arena suballocation) do not overlap and are fine.
+//
+// The uintptr comparison is safe here: both slices are live arguments for
+// the duration of the call, so their backing arrays cannot move between the
+// two conversions.
+func overlaps(x, y []float32) bool {
+	if len(x) == 0 || len(y) == 0 {
+		return false
+	}
+	x0 := uintptr(unsafe.Pointer(unsafe.SliceData(x)))
+	x1 := x0 + uintptr(len(x))*unsafe.Sizeof(float32(0))
+	y0 := uintptr(unsafe.Pointer(unsafe.SliceData(y)))
+	y1 := y0 + uintptr(len(y))*unsafe.Sizeof(float32(0))
+	return x0 < y1 && y0 < x1
+}

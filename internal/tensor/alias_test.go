@@ -1,0 +1,108 @@
+package tensor
+
+import (
+	"strings"
+	"testing"
+)
+
+// The in-place kernels zero/overwrite C before reading A and B, so an output
+// aliasing an input silently corrupts the multiply. These regression tests
+// pin the checkGemm overlap rejection: on the pre-fix kernels every one of
+// them fails, because the calls returned nil and produced garbage.
+
+// aliasedPair returns a 4×4 operand and a 4×4 output whose backing arrays
+// overlap by one element (the classic off-by-one suballocation bug).
+func aliasedPair() (op, out *Tensor) {
+	base := make([]float32, 2*16)
+	for i := range base {
+		base[i] = float32(i)
+	}
+	op = &Tensor{Shape: []int{4, 4}, Data: base[:16]}
+	out = &Tensor{Shape: []int{4, 4}, Data: base[15 : 15+16]}
+	return op, out
+}
+
+func TestGemmRejectsAliasedOutput(t *testing.T) {
+	other := New(4, 4)
+	for _, tc := range []struct {
+		name string
+		call func(c, op *Tensor) error
+	}{
+		{"Gemm/left", func(c, op *Tensor) error { return Gemm(c, op, other) }},
+		{"Gemm/right", func(c, op *Tensor) error { return Gemm(c, other, op) }},
+		{"GemmParallel", func(c, op *Tensor) error { return GemmParallel(c, op, other, 4) }},
+		{"GemmTransA/left", func(c, op *Tensor) error { return GemmTransA(c, op, other) }},
+		{"GemmTransA/right", func(c, op *Tensor) error { return GemmTransA(c, other, op) }},
+		{"GemmTransB/left", func(c, op *Tensor) error { return GemmTransB(c, op, other) }},
+		{"GemmTransB/right", func(c, op *Tensor) error { return GemmTransB(c, other, op) }},
+	} {
+		op, out := aliasedPair()
+		err := tc.call(out, op)
+		if err == nil {
+			t.Fatalf("%s: accepted an output aliasing an input", tc.name)
+		}
+		if !strings.Contains(err.Error(), "aliases") {
+			t.Fatalf("%s: unexpected error %v", tc.name, err)
+		}
+	}
+}
+
+// TestGemmFullAliasRejected: c == a (identical slice) is the most direct
+// in-place misuse and must also be rejected.
+func TestGemmFullAliasRejected(t *testing.T) {
+	a := New(3, 3)
+	b := New(3, 3)
+	c := &Tensor{Shape: []int{3, 3}, Data: a.Data}
+	if err := Gemm(c, a, b); err == nil {
+		t.Fatal("Gemm accepted c sharing a's backing array")
+	}
+}
+
+// TestGemmDisjointSubslicesAllowed: arena-style suballocation hands out
+// disjoint windows of one backing array — that is not aliasing and must keep
+// working bit for bit.
+func TestGemmDisjointSubslicesAllowed(t *testing.T) {
+	base := make([]float32, 3*16)
+	a := &Tensor{Shape: []int{4, 4}, Data: base[0:16]}
+	b := &Tensor{Shape: []int{4, 4}, Data: base[16:32]}
+	c := &Tensor{Shape: []int{4, 4}, Data: base[32:48]}
+	for i := 0; i < 16; i++ {
+		a.Data[i] = float32(i%5) - 2
+		b.Data[i] = float32(i%3) - 1
+	}
+	if err := Gemm(c, a, b); err != nil {
+		t.Fatalf("Gemm rejected disjoint sub-slices: %v", err)
+	}
+	want, err := MatMul(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bitsEqual(t, "disjoint sub-slices", c.Data, want.Data)
+}
+
+func TestIm2ColBatchRejectsAliasedOutput(t *testing.T) {
+	oh, ow := Conv2DShape(4, 4, 3, 3, 1, 1)
+	base := make([]float32, 64+2*3*3*2*oh*ow)
+	in := &Tensor{Shape: []int{2, 2, 4, 4}, Data: base[:64]}
+	out := &Tensor{Shape: []int{2 * 3 * 3, 2 * oh * ow}, Data: base[32 : 32+2*3*3*2*oh*ow]}
+	if err := Im2ColBatch(in, 3, 3, 1, 1, out); err == nil {
+		t.Fatal("Im2ColBatch accepted an output aliasing the input")
+	}
+}
+
+func TestGemmPackedRejectsAliasedOutput(t *testing.T) {
+	a := New(4, 4)
+	b := New(4, 8)
+	var pa PackedA
+	var pb PackedB
+	if err := pa.Pack(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := pb.Pack(b); err != nil {
+		t.Fatal(err)
+	}
+	c := &Tensor{Shape: []int{4, 8}, Data: pb.data[:32]}
+	if err := GemmPacked(c, &pa, &pb); err == nil {
+		t.Fatal("GemmPacked accepted an output aliasing a packed panel")
+	}
+}

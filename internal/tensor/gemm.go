@@ -46,6 +46,14 @@ func checkGemm(op string, c, a, b *Tensor, aOuter, aInner, bInner, bOuter int) (
 	if len(c.Shape) != 2 || c.Shape[0] != m || c.Shape[1] != n {
 		return 0, 0, fmt.Errorf("tensor: %s output shape %v, want (%d, %d)", op, c.Shape, m, n)
 	}
+	// The kernels zero C before reading A and B, so an output aliasing an
+	// input would silently corrupt the operand mid-multiply.
+	if overlaps(c.Data, a.Data) {
+		return 0, 0, fmt.Errorf("tensor: %s output aliases the left operand", op)
+	}
+	if overlaps(c.Data, b.Data) {
+		return 0, 0, fmt.Errorf("tensor: %s output aliases the right operand", op)
+	}
 	return m, n, nil
 }
 
@@ -180,6 +188,11 @@ func Im2ColBatch(in *Tensor, kh, kw, stride, pad int, out *Tensor) error {
 	cols := bsz * oh * ow
 	if len(out.Shape) != 2 || out.Shape[0] != c*kh*kw || out.Shape[1] != cols {
 		return fmt.Errorf("tensor: Im2ColBatch output shape %v, want (%d, %d)", out.Shape, c*kh*kw, cols)
+	}
+	// The unroll overwrites out while gathering from in: aliasing would feed
+	// already-rewritten values back into later columns.
+	if overlaps(out.Data, in.Data) {
+		return fmt.Errorf("tensor: Im2ColBatch output aliases the input")
 	}
 	for ch := 0; ch < c; ch++ {
 		for ky := 0; ky < kh; ky++ {

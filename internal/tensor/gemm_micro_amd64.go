@@ -1,0 +1,34 @@
+//go:build amd64
+
+package tensor
+
+// haveGemmAsm gates the SSE2 micro-kernel; SSE2 is part of the amd64
+// baseline, so no runtime feature detection is needed.
+const haveGemmAsm = true
+
+// gemmMicroAsm computes one full gemmMR×gemmNR register tile from packed
+// panels ap (k-major, MR-wide) and bp (k-major, NR-wide), storing rows at c,
+// c+ldc, c+2·ldc, c+3·ldc. Each output element accumulates its kk partial
+// products in ascending k order with one IEEE single rounding per multiply
+// and per add (MULPS/ADDPS, no FMA), so the result is bitwise identical to
+// the scalar gemmMicroGo. kk must be >= 1.
+//
+//go:noescape
+func gemmMicroAsm(c, ap, bp *float32, ldc, kk int)
+
+// gemmInt8MicroAsm computes one full gemmMR×gemmNR int32 tile from quantized
+// k-pair panels (PMADDWD multiply-add of int16 pairs, PADDD accumulation).
+// Integer arithmetic is exact, so this is identical to gemmInt8MicroGo by
+// value, not just bitwise-compatible. kp must be >= 1.
+//
+//go:noescape
+func gemmInt8MicroAsm(c *int32, ap, bp *int16, ldc, kp int)
+
+// quantPackPairAsm quantizes one k-pair of rows (r0, r1) across `panels`
+// full gemmNR-column panels: for panel jp it reads 8 floats from each row at
+// column jp·8, computes clamp(v·inv) then CVTPS2DQ (round half to even —
+// exactly QuantizeInt8), interleaves the two rows pairwise and stores 16
+// int16s at dst + jp·stride. stride is in int16 elements.
+//
+//go:noescape
+func quantPackPairAsm(dst *int16, r0, r1 *float32, inv float32, panels, stride int)

@@ -1,0 +1,218 @@
+// SSE2 micro-kernel for GemmPacked: one 4×8 output tile held in eight XMM
+// accumulators (row r lives in X(2r) cols 0–3 and X(2r+1) cols 4–7) across
+// the full K loop. MULPS/ADDPS perform one IEEE single rounding per lane per
+// op — no FMA contraction — and every lane accumulates in ascending k order,
+// so the tile is bitwise identical to the scalar reference kernel.
+
+#include "textflag.h"
+
+// func gemmMicroAsm(c, ap, bp *float32, ldc, kk int)
+TEXT ·gemmMicroAsm(SB), NOSPLIT, $0-40
+	MOVQ c+0(FP), DI
+	MOVQ ap+8(FP), SI
+	MOVQ bp+16(FP), DX
+	MOVQ ldc+24(FP), CX
+	MOVQ kk+32(FP), AX
+
+	XORPS X0, X0
+	XORPS X1, X1
+	XORPS X2, X2
+	XORPS X3, X3
+	XORPS X4, X4
+	XORPS X5, X5
+	XORPS X6, X6
+	XORPS X7, X7
+
+loop:
+	MOVUPS (DX), X8    // b[k][0:4]
+	MOVUPS 16(DX), X9  // b[k][4:8]
+
+	MOVSS  (SI), X10   // broadcast a[k][0]
+	SHUFPS $0x00, X10, X10
+	MOVAPS X10, X11
+	MULPS  X8, X10
+	MULPS  X9, X11
+	ADDPS  X10, X0
+	ADDPS  X11, X1
+
+	MOVSS  4(SI), X10  // broadcast a[k][1]
+	SHUFPS $0x00, X10, X10
+	MOVAPS X10, X11
+	MULPS  X8, X10
+	MULPS  X9, X11
+	ADDPS  X10, X2
+	ADDPS  X11, X3
+
+	MOVSS  8(SI), X10  // broadcast a[k][2]
+	SHUFPS $0x00, X10, X10
+	MOVAPS X10, X11
+	MULPS  X8, X10
+	MULPS  X9, X11
+	ADDPS  X10, X4
+	ADDPS  X11, X5
+
+	MOVSS  12(SI), X10 // broadcast a[k][3]
+	SHUFPS $0x00, X10, X10
+	MOVAPS X10, X11
+	MULPS  X8, X10
+	MULPS  X9, X11
+	ADDPS  X10, X6
+	ADDPS  X11, X7
+
+	ADDQ $16, SI
+	ADDQ $32, DX
+	DECQ AX
+	JNE  loop
+
+	// Store the tile: rows at c, c+ldc, c+2·ldc, c+3·ldc (float strides).
+	MOVUPS X0, (DI)
+	MOVUPS X1, 16(DI)
+	LEAQ   (DI)(CX*4), DI
+	MOVUPS X2, (DI)
+	MOVUPS X3, 16(DI)
+	LEAQ   (DI)(CX*4), DI
+	MOVUPS X4, (DI)
+	MOVUPS X5, 16(DI)
+	LEAQ   (DI)(CX*4), DI
+	MOVUPS X6, (DI)
+	MOVUPS X7, 16(DI)
+	RET
+
+// Int8 micro-kernel: one 4×8 int32 tile from quantized k-pair panels. Each
+// PMADDWD (PMADDWL) multiplies eight int16 values pairwise and adds adjacent
+// products into four int32 lanes — one instruction covers two k steps of
+// four output columns; PADDL accumulation is exact, so the result equals the
+// portable kernel's by value with no rounding-order caveat.
+
+// func gemmInt8MicroAsm(c *int32, ap, bp *int16, ldc, kp int)
+TEXT ·gemmInt8MicroAsm(SB), NOSPLIT, $0-40
+	MOVQ c+0(FP), DI
+	MOVQ ap+8(FP), SI
+	MOVQ bp+16(FP), DX
+	MOVQ ldc+24(FP), CX
+	MOVQ kp+32(FP), AX
+
+	PXOR X0, X0
+	PXOR X1, X1
+	PXOR X2, X2
+	PXOR X3, X3
+	PXOR X4, X4
+	PXOR X5, X5
+	PXOR X6, X6
+	PXOR X7, X7
+
+int8loop:
+	MOVOU (DX), X8     // b pairs, cols 0–3
+	MOVOU 16(DX), X9   // b pairs, cols 4–7
+
+	MOVL    (SI), X10  // a pair, row 0 → broadcast dword
+	PSHUFL  $0x00, X10, X10
+	MOVO    X10, X11
+	PMADDWL X8, X10
+	PMADDWL X9, X11
+	PADDL   X10, X0
+	PADDL   X11, X1
+
+	MOVL    4(SI), X10 // row 1
+	PSHUFL  $0x00, X10, X10
+	MOVO    X10, X11
+	PMADDWL X8, X10
+	PMADDWL X9, X11
+	PADDL   X10, X2
+	PADDL   X11, X3
+
+	MOVL    8(SI), X10 // row 2
+	PSHUFL  $0x00, X10, X10
+	MOVO    X10, X11
+	PMADDWL X8, X10
+	PMADDWL X9, X11
+	PADDL   X10, X4
+	PADDL   X11, X5
+
+	MOVL    12(SI), X10 // row 3
+	PSHUFL  $0x00, X10, X10
+	MOVO    X10, X11
+	PMADDWL X8, X10
+	PMADDWL X9, X11
+	PADDL   X10, X6
+	PADDL   X11, X7
+
+	ADDQ $16, SI
+	ADDQ $32, DX
+	DECQ AX
+	JNE  int8loop
+
+	MOVOU X0, (DI)
+	MOVOU X1, 16(DI)
+	LEAQ  (DI)(CX*4), DI
+	MOVOU X2, (DI)
+	MOVOU X3, 16(DI)
+	LEAQ  (DI)(CX*4), DI
+	MOVOU X4, (DI)
+	MOVOU X5, 16(DI)
+	LEAQ  (DI)(CX*4), DI
+	MOVOU X6, (DI)
+	MOVOU X7, 16(DI)
+	RET
+
+// Quantize-and-pack: one k-pair of rows swept across all full panels.
+// Pipeline per panel: v·inv (MULPS) → clamp to [-127, 127] (MINPS maps NaN
+// and +big to +127, MAXPS the rest to -127) → CVTPS2PL (round half to even)
+// → PACKSSLW to int16 (saturation inert after the clamp) → PUNPCK[L/H]WD to
+// the [k0c k1c] pair interleave the GEMM kernel consumes. The scalar
+// QuantizeInt8 implements the identical pipeline, so both packers agree on
+// every input.
+
+// func quantPackPairAsm(dst *int16, r0, r1 *float32, inv float32, panels, stride int)
+TEXT ·quantPackPairAsm(SB), NOSPLIT, $0-48
+	MOVQ dst+0(FP), DI
+	MOVQ r0+8(FP), SI
+	MOVQ r1+16(FP), DX
+	MOVSS inv+24(FP), X12
+	SHUFPS $0x00, X12, X12
+	MOVQ panels+32(FP), AX
+	MOVQ stride+40(FP), R8
+	SHLQ $1, R8               // stride: int16 elements → bytes
+
+	MOVL $0x42FE0000, R9      // 127.0f
+	MOVL R9, X13
+	SHUFPS $0x00, X13, X13
+	MOVL $0xC2FE0000, R9      // -127.0f
+	MOVL R9, X14
+	SHUFPS $0x00, X14, X14
+
+packloop:
+	MOVUPS (SI), X8           // r0 cols 0–3
+	MOVUPS 16(SI), X9         // r0 cols 4–7
+	MOVUPS (DX), X10          // r1 cols 0–3
+	MOVUPS 16(DX), X11        // r1 cols 4–7
+	MULPS  X12, X8
+	MULPS  X12, X9
+	MULPS  X12, X10
+	MULPS  X12, X11
+	MINPS  X13, X8
+	MINPS  X13, X9
+	MINPS  X13, X10
+	MINPS  X13, X11
+	MAXPS  X14, X8
+	MAXPS  X14, X9
+	MAXPS  X14, X10
+	MAXPS  X14, X11
+	CVTPS2PL X8, X8
+	CVTPS2PL X9, X9
+	CVTPS2PL X10, X10
+	CVTPS2PL X11, X11
+	PACKSSLW X9, X8           // r0 as 8 int16
+	PACKSSLW X11, X10         // r1 as 8 int16
+	MOVO     X8, X15
+	PUNPCKLWL X10, X8         // [r0c0 r1c0 … r0c3 r1c3]
+	PUNPCKHWL X10, X15        // [r0c4 r1c4 … r0c7 r1c7]
+	MOVOU X8, (DI)
+	MOVOU X15, 16(DI)
+
+	ADDQ $32, SI
+	ADDQ $32, DX
+	ADDQ R8, DI
+	DECQ AX
+	JNE  packloop
+	RET

@@ -1,0 +1,309 @@
+// Packed register-blocked GEMM: the throughput kernels behind the fused
+// inference path. Both operands are repacked once into panel layouts that the
+// MR×NR micro-kernel reads strictly sequentially — the A panels of a layer's
+// weights are packed once per weight epoch and cached (see nn.InferenceArena),
+// the B panels of the activations once per call.
+//
+// Determinism contract (same as gemm.go): every output element accumulates
+// its K partial products in ascending k order inside a register-resident
+// accumulator, exactly like MatMul's scalar loop, so GemmPacked results are
+// bitwise identical to MatMul and to Gemm. On amd64 the micro-kernel is SSE2
+// assembly — MULPS/ADDPS round each lane exactly like MULSS/ADDSS (one IEEE
+// single rounding per op, no FMA contraction), so vectorising across *output
+// elements* while keeping each element's k order preserves bitwise identity;
+// the pure-Go kernel is the portable fallback and the executable spec.
+// Packing pads partial edge panels with zeros; padded lanes have their own
+// accumulator lanes which are simply never stored, so even a 0·Inf = NaN
+// computed in a dead lane cannot leak into the output. GemmPackedParallel
+// fans column tiles (disjoint output columns, no reduction across a tile
+// boundary) over the deterministic runner, so results are bitwise identical
+// for every worker count.
+//
+// Cache shape: the micro-kernel holds the full K extent of one MR×NR tile in
+// registers (the K values seen here — im2col rows of C·kh·kw ≤ a few hundred —
+// keep both panels L1-resident), the A panel of the current row block stays
+// hot while the B panels stream exactly once per row block, and tiling over N
+// bounds each worker's streamed span.
+package tensor
+
+import (
+	"fmt"
+
+	"mvml/internal/parallel"
+	"mvml/internal/xrand"
+)
+
+const (
+	// gemmMR × gemmNR is the register block: one micro-kernel call keeps
+	// MR·NR accumulators live across the whole inner dimension — on amd64,
+	// eight 4-lane XMM registers (4 rows × 8 columns).
+	gemmMR = 4
+	gemmNR = 8
+	// gemmColTile is the number of B panels (NR columns each) in one
+	// parallel column tile. Tiles own disjoint output columns, so the
+	// fan-out needs no reduction and is worker-count-invariant by
+	// construction.
+	gemmColTile = 64
+)
+
+// PackedA is the left operand packed into gemmMR-row panels: panel ip holds
+// rows [ip·MR, ip·MR+MR) stored k-major (for each k, the MR row values are
+// contiguous), padded with zeros past the last row. Pack with reuse — the
+// buffer is grown once and repacking the same shape never allocates.
+type PackedA struct {
+	M, K int
+	data []float32
+}
+
+// PackedB is the right operand packed into gemmNR-column panels: panel jp
+// holds columns [jp·NR, jp·NR+NR) stored k-major, zero-padded past the last
+// column.
+type PackedB struct {
+	K, N int
+	data []float32
+}
+
+// grow resizes buf to n elements, reusing capacity when possible.
+func grow(buf []float32, n int) []float32 {
+	if cap(buf) < n {
+		return make([]float32, n)
+	}
+	return buf[:n]
+}
+
+// Pack packs a (M×K) into MR-row panels, reusing the buffer.
+func (p *PackedA) Pack(a *Tensor) error {
+	if len(a.Shape) != 2 {
+		return fmt.Errorf("tensor: PackedA.Pack requires a 2-D operand, got %v", a.Shape)
+	}
+	m, k := a.Shape[0], a.Shape[1]
+	panels := (m + gemmMR - 1) / gemmMR
+	p.data = grow(p.data, panels*k*gemmMR)
+	p.M, p.K = m, k
+	for ip := 0; ip < panels; ip++ {
+		i0 := ip * gemmMR
+		dst := p.data[ip*k*gemmMR : (ip+1)*k*gemmMR]
+		if i0+gemmMR <= m {
+			// Full panel: interleave MR source rows.
+			r0 := a.Data[i0*k : (i0+1)*k]
+			r1 := a.Data[(i0+1)*k : (i0+2)*k]
+			r2 := a.Data[(i0+2)*k : (i0+3)*k]
+			r3 := a.Data[(i0+3)*k : (i0+4)*k]
+			for kk := 0; kk < k; kk++ {
+				d := dst[kk*gemmMR : kk*gemmMR+gemmMR : kk*gemmMR+gemmMR]
+				d[0] = r0[kk]
+				d[1] = r1[kk]
+				d[2] = r2[kk]
+				d[3] = r3[kk]
+			}
+			continue
+		}
+		for kk := 0; kk < k; kk++ {
+			for r := 0; r < gemmMR; r++ {
+				if i := i0 + r; i < m {
+					dst[kk*gemmMR+r] = a.Data[i*k+kk]
+				} else {
+					dst[kk*gemmMR+r] = 0
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Pack packs b (K×N) into NR-column panels, reusing the buffer. The source is
+// read row-by-row (sequentially) and scattered into the panel slots.
+func (p *PackedB) Pack(b *Tensor) error {
+	if len(b.Shape) != 2 {
+		return fmt.Errorf("tensor: PackedB.Pack requires a 2-D operand, got %v", b.Shape)
+	}
+	k, n := b.Shape[0], b.Shape[1]
+	p.packRows(k, n, func(kk int) []float32 { return b.Data[kk*n : (kk+1)*n] })
+	return nil
+}
+
+// PackTransposed packs wᵀ for w (N×K) — the dense-layer case where the stored
+// weight matrix is the transpose of the GEMM's right operand. Equivalent to
+// Pack on a materialised transpose, without materialising it.
+func (p *PackedB) PackTransposed(w *Tensor) error {
+	if len(w.Shape) != 2 {
+		return fmt.Errorf("tensor: PackedB.PackTransposed requires a 2-D operand, got %v", w.Shape)
+	}
+	n, k := w.Shape[0], w.Shape[1]
+	panels := (n + gemmNR - 1) / gemmNR
+	p.data = grow(p.data, panels*k*gemmNR)
+	p.K, p.N = k, n
+	for jp := 0; jp < panels; jp++ {
+		j0 := jp * gemmNR
+		dst := p.data[jp*k*gemmNR : (jp+1)*k*gemmNR]
+		for kk := 0; kk < k; kk++ {
+			for c := 0; c < gemmNR; c++ {
+				if j := j0 + c; j < n {
+					dst[kk*gemmNR+c] = w.Data[j*k+kk]
+				} else {
+					dst[kk*gemmNR+c] = 0
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// packRows is the shared row-streaming packer: row(kk) must return source row
+// kk of the logical K×N operand.
+func (p *PackedB) packRows(k, n int, row func(kk int) []float32) {
+	panels := (n + gemmNR - 1) / gemmNR
+	p.data = grow(p.data, panels*k*gemmNR)
+	p.K, p.N = k, n
+	full := n / gemmNR // panels with no column padding
+	for kk := 0; kk < k; kk++ {
+		src := row(kk)
+		base := kk * gemmNR
+		for jp := 0; jp < full; jp++ {
+			d := p.data[jp*k*gemmNR+base : jp*k*gemmNR+base+gemmNR : jp*k*gemmNR+base+gemmNR]
+			s := src[jp*gemmNR : jp*gemmNR+gemmNR : jp*gemmNR+gemmNR]
+			d[0] = s[0]
+			d[1] = s[1]
+			d[2] = s[2]
+			d[3] = s[3]
+			d[4] = s[4]
+			d[5] = s[5]
+			d[6] = s[6]
+			d[7] = s[7]
+		}
+		if full < panels {
+			d := p.data[full*k*gemmNR+base : full*k*gemmNR+base+gemmNR]
+			j0 := full * gemmNR
+			for c := 0; c < gemmNR; c++ {
+				if j := j0 + c; j < n {
+					d[c] = src[j]
+				} else {
+					d[c] = 0
+				}
+			}
+		}
+	}
+}
+
+// GemmPacked computes C = A·B from pre-packed operands into the
+// caller-provided C (M×N), overwriting its previous contents. Bitwise
+// identical to MatMul(a, b).
+func GemmPacked(c *Tensor, pa *PackedA, pb *PackedB) error {
+	return GemmPackedParallel(c, pa, pb, 1)
+}
+
+// GemmPackedParallel is GemmPacked with column-tile parallelism: groups of
+// gemmColTile B panels are fanned out over the deterministic runner. Tiles
+// write disjoint output columns, so the result is bitwise identical for every
+// worker count. workers <= 1 (or too few panels to tile) runs sequentially.
+func GemmPackedParallel(c *Tensor, pa *PackedA, pb *PackedB, workers int) error {
+	if err := checkGemmPacked(c, pa, pb); err != nil {
+		return err
+	}
+	panels := (pb.N + gemmNR - 1) / gemmNR
+	tiles := (panels + gemmColTile - 1) / gemmColTile
+	if workers <= 1 || tiles < 2 {
+		gemmPackedPanels(c, pa, pb, 0, panels)
+		return nil
+	}
+	// The runner wants an RNG root; the tile body is deterministic and never
+	// draws from it, so a fixed seed keeps the call site pure.
+	_, err := parallel.Run(xrand.New(0), "gemm-packed", tiles, parallel.Options{Workers: workers},
+		func(tile int, _ *xrand.Rand) (struct{}, error) {
+			jp0 := tile * gemmColTile
+			jp1 := jp0 + gemmColTile
+			if jp1 > panels {
+				jp1 = panels
+			}
+			gemmPackedPanels(c, pa, pb, jp0, jp1)
+			return struct{}{}, nil
+		})
+	return err
+}
+
+func checkGemmPacked(c *Tensor, pa *PackedA, pb *PackedB) error {
+	if pa.data == nil || pb.data == nil {
+		return fmt.Errorf("tensor: GemmPacked on unpacked operands")
+	}
+	if pa.K != pb.K {
+		return fmt.Errorf("tensor: GemmPacked inner dimensions %d and %d differ", pa.K, pb.K)
+	}
+	if len(c.Shape) != 2 || c.Shape[0] != pa.M || c.Shape[1] != pb.N {
+		return fmt.Errorf("tensor: GemmPacked output shape %v, want (%d, %d)", c.Shape, pa.M, pb.N)
+	}
+	if overlaps(c.Data, pa.data) || overlaps(c.Data, pb.data) {
+		return fmt.Errorf("tensor: GemmPacked output aliases a packed operand")
+	}
+	return nil
+}
+
+// gemmPackedPanels computes the output columns of B panels [jp0, jp1). The B
+// panel of the current column block streams once while every A panel is
+// revisited — A is the smaller, cache-resident operand on the inference
+// shapes (a layer's packed weights).
+func gemmPackedPanels(c *Tensor, pa *PackedA, pb *PackedB, jp0, jp1 int) {
+	m, k, n := pa.M, pa.K, pb.N
+	mPanels := (m + gemmMR - 1) / gemmMR
+	for jp := jp0; jp < jp1; jp++ {
+		bp := pb.data[jp*k*gemmNR : (jp+1)*k*gemmNR]
+		j0 := jp * gemmNR
+		nr := n - j0
+		if nr > gemmNR {
+			nr = gemmNR
+		}
+		for ip := 0; ip < mPanels; ip++ {
+			ap := pa.data[ip*k*gemmMR : (ip+1)*k*gemmMR]
+			i0 := ip * gemmMR
+			mr := m - i0
+			if mr > gemmMR {
+				mr = gemmMR
+			}
+			if haveGemmAsm {
+				if mr == gemmMR && nr == gemmNR {
+					gemmMicroAsm(&c.Data[i0*n+j0], &ap[0], &bp[0], n, k)
+					continue
+				}
+				// Edge tile: run the same kernel into a scratch tile,
+				// then keep only the live lanes. The discarded lanes
+				// are exactly the zero-padded panel rows/columns.
+				var scratch [gemmMR * gemmNR]float32
+				gemmMicroAsm(&scratch[0], &ap[0], &bp[0], gemmNR, k)
+				for r := 0; r < mr; r++ {
+					row := c.Data[(i0+r)*n+j0:]
+					for cc := 0; cc < nr; cc++ {
+						row[cc] = scratch[r*gemmNR+cc]
+					}
+				}
+				continue
+			}
+			gemmMicroGo(c.Data, n, i0, j0, mr, nr, k, ap, bp)
+		}
+	}
+}
+
+// gemmMicroGo is the portable micro-kernel and the executable spec for the
+// assembly one: an MR×NR accumulator tile where every element sums its K
+// partial products in ascending k order (the bitwise-identity contract),
+// storing only the mr×nr live lanes.
+func gemmMicroGo(cdata []float32, ldc, i0, j0, mr, nr, kk int, ap, bp []float32) {
+	var acc [gemmMR][gemmNR]float32
+	for k := 0; k < kk; k++ {
+		av := ap[k*gemmMR : k*gemmMR+gemmMR : k*gemmMR+gemmMR]
+		bv := bp[k*gemmNR : k*gemmNR+gemmNR : k*gemmNR+gemmNR]
+		for r := 0; r < gemmMR; r++ {
+			a := av[r]
+			row := &acc[r]
+			for cc := 0; cc < gemmNR; cc++ {
+				row[cc] += a * bv[cc]
+			}
+		}
+	}
+	// Dead lanes (zero-padded panel rows/columns) are dropped here, so
+	// nothing they accumulated can reach the output.
+	for r := 0; r < mr; r++ {
+		row := cdata[(i0+r)*ldc+j0:]
+		for cc := 0; cc < nr; cc++ {
+			row[cc] = acc[r][cc]
+		}
+	}
+}
