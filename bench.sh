@@ -128,10 +128,11 @@ awk -v ncpu="$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)" '
     if (!(tp[2] in ns) || $3 < ns[tp[2]]) ns[tp[2]] = $3
 }
 END {
-    off = ns["off"]; on = ns["on"]
+    off = ns["off"]; on = ns["on"]; sampled = ns["sampled"]
     pct = off > 0 ? (on - off) * 100.0 / off : 0
-    printf "{\n  \"cpus\": %d,\n  \"telemetry_off_ns_per_op\": %d,\n  \"telemetry_on_ns_per_op\": %d,\n  \"overhead_pct\": %.2f,\n  \"acceptance_pct\": 5.0,\n  \"pass\": %s\n}\n", \
-        ncpu, off, on, pct, (pct < 5.0 ? "true" : "false")
+    spct = off > 0 ? (sampled - off) * 100.0 / off : 0
+    printf "{\n  \"cpus\": %d,\n  \"telemetry_off_ns_per_op\": %d,\n  \"telemetry_on_ns_per_op\": %d,\n  \"telemetry_sampled_ns_per_op\": %d,\n  \"overhead_pct\": %.2f,\n  \"sampled_overhead_pct\": %.2f,\n  \"acceptance_pct\": 5.0,\n  \"pass\": %s\n}\n", \
+        ncpu, off, on, sampled, pct, spct, (pct < 5.0 && spct < 5.0 ? "true" : "false")
 }' "$raw" > "$out3"
 
 echo "==> wrote $out3"

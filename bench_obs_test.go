@@ -14,8 +14,10 @@ import (
 	"testing"
 	"time"
 
+	"mvml/internal/health"
 	"mvml/internal/nn"
 	"mvml/internal/obs"
+	"mvml/internal/obs/tsdb"
 	"mvml/internal/serve"
 	"mvml/internal/signs"
 	"mvml/internal/xrand"
@@ -66,6 +68,35 @@ func BenchmarkServeObs(b *testing.B) {
 			b.Fatal(err)
 		}
 		rt.AttachFlightRecorder(fr)
+		cfg := obsBenchConfig()
+		cfg.ProfileLayers = true
+		s, err := serve.New(cfg, rt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer s.Close()
+		benchServe(b, s)
+		if rt.Spans().Published() == 0 {
+			b.Fatal("instrumented benchmark produced no spans")
+		}
+	})
+	// The full telemetry pipeline: everything above plus tail sampling at
+	// 10% normal traffic, the time-series store ingesting the retained
+	// spans and rule evaluation. Same <5% bar — sampling should make the
+	// span path cheaper, not dearer.
+	b.Run("telemetry=sampled", func(b *testing.B) {
+		rt := obs.NewRuntime(4096)
+		fr, err := obs.NewFlightRecorder(b.TempDir(), 0, 0, rt.Spans(), rt.Tracer())
+		if err != nil {
+			b.Fatal(err)
+		}
+		rt.AttachFlightRecorder(fr)
+		rt.SetSampler(obs.NewSampler(obs.SampleConfig{Rate: 0.1, Seed: 1}))
+		store := tsdb.New(tsdb.Config{BucketSeconds: 1, Buckets: 600})
+		store.Register(rt.Metrics())
+		rules := tsdb.NewRules(store, 1, tsdb.DefaultServingRules(health.DefaultOptions()))
+		rules.Register(rt.Metrics())
+		rt.Spans().AttachSampled(tsdb.NewIngester(store, rules))
 		cfg := obsBenchConfig()
 		cfg.ProfileLayers = true
 		s, err := serve.New(cfg, rt)

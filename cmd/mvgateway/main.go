@@ -32,6 +32,7 @@ import (
 	"mvml/internal/health"
 	"mvml/internal/nn"
 	"mvml/internal/obs"
+	"mvml/internal/obs/tsdb"
 	"mvml/internal/serve"
 	"mvml/internal/signs"
 	"mvml/internal/xrand"
@@ -141,8 +142,10 @@ func (gf *gwFlags) shardConfig(label string, healthOpts *health.Options) serve.C
 }
 
 // buildFleet constructs the gateway and its initial shards. The returned
-// spawn function builds autoscaler shards with the same configuration.
-func (gf *gwFlags) buildFleet(rt *obs.Runtime, healthOpts *health.Options) (*gateway.Gateway, []*gateway.LocalShard, func(id string) (gateway.ShardControl, error), error) {
+// spawn function builds autoscaler shards with the same configuration. p99,
+// when non-nil, feeds the autoscaler's latency signal from the tsdb
+// recording rule instead of the gateway's own window.
+func (gf *gwFlags) buildFleet(rt *obs.Runtime, healthOpts *health.Options, p99 func() time.Duration) (*gateway.Gateway, []*gateway.LocalShard, func(id string) (gateway.ShardControl, error), error) {
 	gw := gateway.New(gateway.Config{
 		MaxInflight: *gf.maxInflight,
 		RetryBurst:  *gf.retryBurst,
@@ -175,6 +178,7 @@ func (gf *gwFlags) buildFleet(rt *obs.Runtime, healthOpts *health.Options) (*gat
 	if *gf.autoscale {
 		gw.StartAutoscaler(gateway.AutoscalerConfig{
 			MaxWorkers: *gf.maxWorkers,
+			P99Source:  p99,
 			SpawnShard: spawn,
 			OnEvent: func(ev gateway.ScaleEvent) {
 				fmt.Fprintf(os.Stderr, "mvgateway: autoscale %s shard=%s workers=%d (%s)\n",
@@ -203,6 +207,8 @@ func cmdServe(args []string) error {
 	tele.RegisterFlags(fs)
 	var hcli health.CLI
 	hcli.RegisterFlags(fs)
+	var tcli tsdb.CLI
+	tcli.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -216,13 +222,17 @@ func cmdServe(args []string) error {
 		// gateway always runs a local runtime even with telemetry flags off.
 		rt = obs.NewRuntime(0)
 	}
+	tcli.Attach(rt, *demoHealthOptions(&hcli))
 	defer func() {
+		if err := tcli.Finish(); err != nil {
+			fmt.Fprintln(os.Stderr, "mvgateway:", err)
+		}
 		if err := tele.Finish(map[string]any{"command": "gateway-serve"}); err != nil {
 			fmt.Fprintln(os.Stderr, "mvgateway:", err)
 		}
 	}()
 
-	gw, shards, _, err := gf.buildFleet(rt, demoHealthOptions(&hcli))
+	gw, shards, _, err := gf.buildFleet(rt, demoHealthOptions(&hcli), tcli.P99Source())
 	if err != nil {
 		return err
 	}
@@ -305,6 +315,8 @@ func cmdDemo(args []string) error {
 	tele.RegisterFlags(fs)
 	var hcli health.CLI
 	hcli.RegisterFlags(fs)
+	var tcli tsdb.CLI
+	tcli.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -316,8 +328,9 @@ func cmdDemo(args []string) error {
 	if rt == nil {
 		rt = obs.NewRuntime(0)
 	}
+	tcli.Attach(rt, *demoHealthOptions(&hcli))
 
-	gw, shards, _, err := gf.buildFleet(rt, demoHealthOptions(&hcli))
+	gw, shards, _, err := gf.buildFleet(rt, demoHealthOptions(&hcli), tcli.P99Source())
 	if err != nil {
 		return err
 	}
@@ -329,6 +342,7 @@ func cmdDemo(args []string) error {
 	}()
 	if len(shards) > 0 {
 		hcli.Observe(shards[0].Server().Health())
+		tcli.Observe(shards[0].Server().Health())
 	}
 
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -402,6 +416,9 @@ func cmdDemo(args []string) error {
 	}
 
 	if err := hcli.Finish(); err != nil {
+		fmt.Fprintln(os.Stderr, "mvgateway:", err)
+	}
+	if err := tcli.Finish(); err != nil {
 		fmt.Fprintln(os.Stderr, "mvgateway:", err)
 	}
 	if err := tele.Finish(map[string]any{"command": "gateway-demo", "report": rep}); err != nil {

@@ -30,6 +30,7 @@ import (
 
 	"mvml/internal/health"
 	"mvml/internal/obs"
+	"mvml/internal/obs/tsdb"
 	"mvml/internal/serve"
 )
 
@@ -134,6 +135,8 @@ func cmdServe(args []string) error {
 	tele.RegisterFlags(fs)
 	var hcli health.CLI
 	hcli.RegisterFlags(fs)
+	var tcli tsdb.CLI
+	tcli.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -144,8 +147,16 @@ func cmdServe(args []string) error {
 	if err != nil {
 		return err
 	}
+	hopts := health.DefaultOptions()
+	if cfg.Health != nil {
+		hopts = *cfg.Health
+	}
+	tcli.Attach(rt, hopts)
 	defer func() {
 		if err := hcli.Finish(); err != nil {
+			fmt.Fprintln(os.Stderr, "mvserve:", err)
+		}
+		if err := tcli.Finish(); err != nil {
 			fmt.Fprintln(os.Stderr, "mvserve:", err)
 		}
 		if err := tele.Finish(map[string]any{"command": "serve"}); err != nil {
@@ -159,8 +170,9 @@ func cmdServe(args []string) error {
 	}
 	defer s.Close()
 	// The server owns the engine (verdicts drive rejuvenation); adopt it so
-	// the deferred Finish reports on it.
+	// the deferred Finish reports on it. Rule alerts feed the same engine.
 	hcli.Observe(s.Health())
+	tcli.Observe(s.Health())
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -229,6 +241,8 @@ func cmdDemo(args []string) error {
 	tele.RegisterFlags(fs)
 	var hcli health.CLI
 	hcli.RegisterFlags(fs)
+	var tcli tsdb.CLI
+	tcli.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -239,6 +253,11 @@ func cmdDemo(args []string) error {
 	if err != nil {
 		return err
 	}
+	hopts := health.DefaultOptions()
+	if cfg.Health != nil {
+		hopts = *cfg.Health
+	}
+	tcli.Attach(rt, hopts)
 
 	// The demo leans on the reactive trigger: make it responsive enough to
 	// fire within the run unless the operator tuned it explicitly.
@@ -248,6 +267,7 @@ func cmdDemo(args []string) error {
 	}
 	defer s.Close()
 	hcli.Observe(s.Health())
+	tcli.Observe(s.Health())
 
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -286,6 +306,9 @@ func cmdDemo(args []string) error {
 			reactive.Value(), proactive.Value(), degraded.Value())
 	}
 	if err := hcli.Finish(); err != nil {
+		fmt.Fprintln(os.Stderr, "mvserve:", err)
+	}
+	if err := tcli.Finish(); err != nil {
 		fmt.Fprintln(os.Stderr, "mvserve:", err)
 	}
 	if err := tele.Finish(map[string]any{"command": "demo", "report": rep}); err != nil {

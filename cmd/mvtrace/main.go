@@ -6,6 +6,7 @@
 // Usage:
 //
 //	mvtrace summary   -in spans.jsonl            # p50/p95/p99 per span kind
+//	mvtrace top       -in spans.jsonl -n 10      # slowest retained traces
 //	mvtrace waterfall -in spans.jsonl            # richest trace, as a tree
 //	mvtrace waterfall -in spans.jsonl -trace 42  # a specific trace id
 package main
@@ -31,6 +32,8 @@ func main() {
 	switch os.Args[1] {
 	case "summary":
 		err = cmdSummary(os.Args[2:])
+	case "top":
+		err = cmdTop(os.Args[2:])
 	case "waterfall":
 		err = cmdWaterfall(os.Args[2:])
 	case "-h", "-help", "--help", "help":
@@ -48,6 +51,7 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   mvtrace summary   -in spans.jsonl             per-stage latency quantiles
+  mvtrace top       -in spans.jsonl [-n K]      K slowest retained traces
   mvtrace waterfall -in spans.jsonl [-trace N]  text waterfall for one trace
 run "mvtrace <subcommand> -h" for flags`)
 }
@@ -144,6 +148,7 @@ func cmdSummary(args []string) error {
 	for _, r := range recs {
 		traces[r.Trace] = struct{}{}
 	}
+	cov := coverage(recs)
 	rows := make([]kindSummary, 0, len(kinds))
 	for _, k := range kinds {
 		d := byKind[k]
@@ -159,14 +164,19 @@ func cmdSummary(args []string) error {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		return enc.Encode(struct {
-			Spans  int           `json:"spans"`
-			Traces int           `json:"traces"`
-			Input  string        `json:"input"`
-			Kinds  []kindSummary `json:"kinds"`
-		}{len(recs), len(traces), *in, rows})
+			Spans    int           `json:"spans"`
+			Traces   int           `json:"traces"`
+			Coverage float64       `json:"coverage"`
+			Input    string        `json:"input"`
+			Kinds    []kindSummary `json:"kinds"`
+		}{len(recs), len(traces), cov, *in, rows})
 	}
 
-	fmt.Printf("%d spans · %d traces · %s\n\n", len(recs), len(traces), *in)
+	fmt.Printf("%d spans · %d traces · %s\n", len(recs), len(traces), *in)
+	if cov < 0.999 {
+		fmt.Printf("coverage ~%.0f%% of emitted spans retained (tail sampling and/or ring drops)\n", cov*100)
+	}
+	fmt.Println()
 	if byShard {
 		fmt.Printf("%-14s %-10s %8s %12s %12s %12s %12s\n", "kind", "shard", "count", "p50", "p95", "p99", "max")
 		for _, row := range rows {
@@ -179,6 +189,130 @@ func cmdSummary(args []string) error {
 	for _, row := range rows {
 		fmt.Printf("%-14s %8d %12s %12s %12s %12s\n", row.Kind, row.Count,
 			dur(row.P50), dur(row.P95), dur(row.P99), dur(row.Max))
+	}
+	return nil
+}
+
+// coverage estimates the fraction of emitted spans present in the export.
+// Span ids are allocated from a dense per-process counter, so the gap
+// between the smallest and largest id seen bounds how many spans existed;
+// anything missing was sampled out or dropped by the ring.
+func coverage(recs []obs.SpanRecord) float64 {
+	if len(recs) == 0 {
+		return 0
+	}
+	minID, maxID := recs[0].ID, recs[0].ID
+	for _, r := range recs {
+		if r.ID < minID {
+			minID = r.ID
+		}
+		if r.ID > maxID {
+			maxID = r.ID
+		}
+	}
+	emitted := maxID - minID + 1
+	if emitted == 0 {
+		return 1
+	}
+	cov := float64(len(recs)) / float64(emitted)
+	if cov > 1 {
+		cov = 1
+	}
+	return cov
+}
+
+// traceTop is one row of `mvtrace top`: a retained trace ranked by root
+// duration, with its slowest child stage called out.
+type traceTop struct {
+	Trace       uint64  `json:"trace"`
+	Kind        string  `json:"kind"`
+	Seconds     float64 `json:"seconds"`
+	Spans       int     `json:"spans"`
+	Slowest     string  `json:"slowest_stage,omitempty"`
+	SlowestSecs float64 `json:"slowest_stage_seconds,omitempty"`
+	Error       string  `json:"error,omitempty"`
+	Shard       string  `json:"shard,omitempty"`
+}
+
+func cmdTop(args []string) error {
+	fs := flag.NewFlagSet("mvtrace top", flag.ExitOnError)
+	in := fs.String("in", "spans.jsonl", "span JSONL export to analyse")
+	n := fs.Int("n", 10, "how many traces to list")
+	format := fs.String("format", "text", "output format: text or json")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *format != "text" && *format != "json" {
+		return fmt.Errorf("unknown -format %q (want text or json)", *format)
+	}
+	recs, err := load(*in)
+	if err != nil {
+		return err
+	}
+
+	byTrace := map[uint64][]obs.SpanRecord{}
+	for _, r := range recs {
+		byTrace[r.Trace] = append(byTrace[r.Trace], r)
+	}
+	rows := make([]traceTop, 0, len(byTrace))
+	for id, spans := range byTrace {
+		ids := map[uint64]bool{}
+		for _, r := range spans {
+			ids[r.ID] = true
+		}
+		row := traceTop{Trace: id, Spans: len(spans)}
+		for _, r := range spans {
+			isRoot := r.Parent == 0 || !ids[r.Parent]
+			if isRoot && r.Duration() >= row.Seconds {
+				row.Seconds = r.Duration()
+				row.Kind = r.Kind
+				if v, ok := r.Attrs["shard"]; ok {
+					row.Shard = fmt.Sprint(v)
+				}
+			}
+			if !isRoot && r.Duration() > row.SlowestSecs {
+				row.SlowestSecs = r.Duration()
+				row.Slowest = r.Kind
+			}
+			if v, ok := r.Attrs["error"]; ok && row.Error == "" {
+				row.Error = fmt.Sprint(v)
+			}
+		}
+		rows = append(rows, row)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Seconds != rows[j].Seconds {
+			return rows[i].Seconds > rows[j].Seconds
+		}
+		return rows[i].Trace < rows[j].Trace
+	})
+	if len(rows) > *n {
+		rows = rows[:*n]
+	}
+
+	if *format == "json" {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(struct {
+			Traces int        `json:"traces"`
+			Input  string     `json:"input"`
+			Top    []traceTop `json:"top"`
+		}{len(byTrace), *in, rows})
+	}
+
+	fmt.Printf("top %d of %d traces · %s\n\n", len(rows), len(byTrace), *in)
+	fmt.Printf("%10s %-14s %12s %6s %-22s %s\n", "trace", "kind", "duration", "spans", "slowest stage", "error")
+	for _, row := range rows {
+		slow := "-"
+		if row.Slowest != "" {
+			slow = fmt.Sprintf("%s (%s)", row.Slowest, dur(row.SlowestSecs))
+		}
+		kind := row.Kind
+		if row.Shard != "" {
+			kind += "@" + row.Shard
+		}
+		fmt.Printf("%10d %-14s %12s %6d %-22s %s\n",
+			row.Trace, kind, dur(row.Seconds), row.Spans, slow, row.Error)
 	}
 	return nil
 }

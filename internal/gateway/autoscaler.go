@@ -26,6 +26,10 @@ type AutoscalerConfig struct {
 	// P99Target is the routing-latency objective; a p99 above it reads as
 	// pressure even with shallow queues (<=0: 250ms).
 	P99Target time.Duration
+	// P99Source, when set, supplies the p99 latency signal — typically a
+	// tsdb recording rule evaluated over the span stream. A nil source or a
+	// non-positive reading falls back to the gateway's own latency window.
+	P99Source func() time.Duration
 	// UpStreak/DownStreak are how many consecutive pressured (resp. slack)
 	// evaluations trigger a scale-up (resp. scale-down). Scale-up reacts
 	// fast, scale-down hesitates — flapping costs more than idling
@@ -246,6 +250,12 @@ func (a *autoscaler) signals() scaleSignals {
 		})
 	}
 	sort.Slice(sig.Shards, func(i, j int) bool { return sig.Shards[i].ID < sig.Shards[j].ID })
+	if a.cfg.P99Source != nil {
+		if p99 := a.cfg.P99Source(); p99 > 0 {
+			sig.P99 = p99
+			return sig
+		}
+	}
 	if lat := g.latencySnapshot(); len(lat) > 0 {
 		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
 		sig.P99 = stats.NearestRank(lat, 0.99)

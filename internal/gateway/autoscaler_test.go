@@ -125,3 +125,25 @@ func TestDecideSteadyStateDoesNothing(t *testing.T) {
 		}
 	}
 }
+
+// TestSignalsPrefersP99Source checks that a configured latency source (the
+// tsdb recording-rule feed) overrides the gateway's own latency window, and
+// that a dead source (<=0 readings) falls back to it.
+func TestSignalsPrefersP99Source(t *testing.T) {
+	gw := New(Config{}, nil)
+	defer gw.Close()
+	if err := gw.AddShard(newFakeShard("a")); err != nil {
+		t.Fatal(err)
+	}
+	external := 400 * time.Millisecond
+	a := &autoscaler{gw: gw, cfg: AutoscalerConfig{
+		P99Source: func() time.Duration { return external },
+	}.withDefaults()}
+	if got := a.signals().P99; got != 400*time.Millisecond {
+		t.Fatalf("P99 = %v, want the external source's 400ms", got)
+	}
+	external = 0 // source goes quiet: fall back to the local window
+	if got := a.signals().P99; got != 0 {
+		t.Fatalf("P99 with quiet source and empty window = %v, want 0", got)
+	}
+}

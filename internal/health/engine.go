@@ -642,6 +642,35 @@ func (e *Engine) SuppressRejuvenation() bool {
 	return c != nil && c.level >= Critical
 }
 
+// ObserveAlert feeds an external alert transition — the tsdb rule engine's
+// firing/resolve edges — into the verdict as component "alert:"+name. A
+// firing critical alert goes Critical, a firing warning Degraded; a resolve
+// returns the component to Healthy immediately (the rule engine's
+// for-duration already provides the hysteresis the span-driven components
+// get from RecoverAfter). Safe on a nil engine.
+func (e *Engine) ObserveAlert(name string, critical, firing bool, t float64, reason string) {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	comp := "alert:" + name
+	if firing {
+		lvl := Degraded
+		if critical {
+			lvl = Critical
+		}
+		if reason == "" {
+			reason = "alert firing"
+		}
+		e.bump(comp, lvl, t, reason)
+		return
+	}
+	if _, ok := e.comps[comp]; ok {
+		e.force(comp, Healthy, t, "alert resolved")
+	}
+}
+
 // ComponentStatus is one component's externally visible state.
 type ComponentStatus struct {
 	Name       string  `json:"name"`

@@ -43,6 +43,13 @@ type CLI struct {
 	// Hold keeps the metrics endpoint up for this long after Finish, so
 	// short runs can still be scraped.
 	Hold time.Duration
+	// SampleRate < 1 enables tail-based trace sampling: error/slow/lifecycle
+	// traces are always retained, plus this fraction of normal traffic.
+	SampleRate float64
+	// SampleSlow is the always-retain latency threshold for sampled runs.
+	SampleSlow time.Duration
+	// SampleSeed seeds the deterministic retain/drop hash.
+	SampleSeed uint64
 
 	rt        *Runtime
 	srv       *http.Server
@@ -80,6 +87,12 @@ func (c *CLI) RegisterFlags(fs *flag.FlagSet) {
 		"mount net/http/pprof under /debug/pprof/ on the metrics endpoint")
 	fs.DurationVar(&c.Hold, "metrics-hold", 0,
 		"keep the metrics endpoint up this long after the run finishes")
+	fs.Float64Var(&c.SampleRate, "sample-rate", 1,
+		"tail-sampling retention rate for normal traces in [0,1); 1 records everything (error/slow/lifecycle traces are always retained)")
+	fs.DurationVar(&c.SampleSlow, "sample-slow", 250*time.Millisecond,
+		"always retain request traces at least this slow when sampling")
+	fs.Uint64Var(&c.SampleSeed, "sample-seed", 0,
+		"seed for the deterministic tail-sampling hash")
 }
 
 // InfoLabel adds one label pair to the mv_build_info gauge; call before
@@ -106,6 +119,15 @@ func (c *CLI) Start() (*Runtime, error) {
 	}
 	c.rt = NewRuntime(c.TraceCapacity)
 	c.registerBuildInfo()
+	// 0 (the zero value: CLI built without RegisterFlags) and >= 1 both mean
+	// record everything; sampling engages only for an explicit fraction.
+	if c.SampleRate > 0 && c.SampleRate < 1 {
+		c.rt.SetSampler(NewSampler(SampleConfig{
+			Rate:        c.SampleRate,
+			Seed:        c.SampleSeed,
+			SlowSeconds: c.SampleSlow.Seconds(),
+		}))
+	}
 	if c.SpansPath != "" {
 		f, err := os.Create(c.SpansPath)
 		if err != nil {
@@ -205,6 +227,10 @@ func (c *CLI) Finish(extra map[string]any) error {
 		c.spansFile = nil
 		if err != nil {
 			fail(fmt.Errorf("obs: span export: %w", err))
+		} else if sm := c.rt.Spans().Sampler(); sm != nil {
+			kept, out := sm.Stats()
+			fmt.Fprintf(os.Stderr, "obs: wrote %d of %d spans to %s (tail sampling: %d traces kept, %d sampled out)\n",
+				c.rt.Spans().Retained(), c.rt.Spans().Published(), c.SpansPath, kept, out)
 		} else {
 			fmt.Fprintf(os.Stderr, "obs: wrote %d spans to %s\n", c.rt.Spans().Published(), c.SpansPath)
 		}

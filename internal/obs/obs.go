@@ -35,18 +35,50 @@ type Runtime struct {
 // called with a non-positive capacity.
 const DefaultTraceCapacity = 8192
 
+// Names of the ring-buffer drop and sampling-decision counters every
+// Runtime registers: silent telemetry loss is itself a telemetry signal.
+const (
+	MetricDroppedSpans  = "mv_obs_dropped_spans_total"
+	MetricDroppedEvents = "mv_obs_dropped_events_total"
+	MetricSampledTraces = "mv_obs_sampled_traces_total"
+)
+
 // NewRuntime returns a Runtime with a fresh registry, a tracer and a span
 // sink each holding up to traceCapacity records (DefaultTraceCapacity
-// when <= 0).
+// when <= 0). Ring-buffer evictions in the tracer and span sink are mirrored
+// into mv_obs_dropped_events_total / mv_obs_dropped_spans_total so data loss
+// is never silent.
 func NewRuntime(traceCapacity int) *Runtime {
 	if traceCapacity <= 0 {
 		traceCapacity = DefaultTraceCapacity
 	}
-	return &Runtime{
+	r := &Runtime{
 		reg:    NewRegistry(),
 		tracer: NewTracer(traceCapacity),
 		spans:  NewSpanSink(traceCapacity),
 	}
+	r.reg.Help(MetricDroppedSpans, "Spans evicted from the span ring buffer before being read.")
+	r.reg.Help(MetricDroppedEvents, "Events evicted from the trace ring buffer before being read.")
+	r.spans.SetDropCounter(r.reg.Counter(MetricDroppedSpans))
+	r.tracer.SetDropCounter(r.reg.Counter(MetricDroppedEvents))
+	return r
+}
+
+// SetSampler installs the tail sampler on the span sink and wires its
+// kept/sampled-out decision counters into the registry as
+// mv_obs_sampled_traces_total{decision="kept"|"sampled_out"}.
+func (r *Runtime) SetSampler(sm *Sampler) {
+	if r == nil {
+		return
+	}
+	if sm != nil {
+		r.reg.Help(MetricSampledTraces, "Tail-sampling retention decisions by outcome.")
+		sm.SetCounters(
+			r.reg.Counter(MetricSampledTraces, "decision", "kept"),
+			r.reg.Counter(MetricSampledTraces, "decision", "sampled_out"),
+		)
+	}
+	r.spans.SetSampler(sm)
 }
 
 // Metrics returns the registry, or nil for a nil Runtime.

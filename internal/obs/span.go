@@ -61,15 +61,20 @@ type SpanSink struct {
 	nextTrace atomic.Uint64
 	nextSpan  atomic.Uint64
 
+	sampler atomic.Pointer[Sampler]
+
 	mu        sync.Mutex
 	buf       []SpanRecord
 	start     int
 	size      int
-	total     uint64
+	total     uint64 // spans ever published (pre-sampling)
+	retained  uint64 // spans that survived sampling (= total with no sampler)
 	dropped   uint64
+	dropC     *Counter // optional registry counter mirroring dropped
 	w         *bufio.Writer
 	werr      error
-	observers []SpanObserver
+	observers []SpanObserver // full firehose: every published span
+	sampled   []SpanObserver // post-sampling: retained spans only
 }
 
 // NewSpanSink returns a sink retaining up to capacity finished spans
@@ -127,6 +132,50 @@ func (s *SpanSink) Attach(o SpanObserver) {
 	s.mu.Unlock()
 }
 
+// AttachSampled registers o to receive only the spans that survive tail
+// sampling (everything, when no sampler is set). Downstream aggregators that
+// must reproduce identically from a sampled JSONL export — the tsdb span
+// ingester — attach here; true-rate consumers (health engine, flight
+// recorder) use Attach.
+func (s *SpanSink) AttachSampled(o SpanObserver) {
+	if s == nil || o == nil {
+		return
+	}
+	s.mu.Lock()
+	s.sampled = append(s.sampled, o)
+	s.mu.Unlock()
+}
+
+// SetSampler installs (or, with nil, removes) the tail sampler deciding
+// which traces the ring buffer, the JSONL export and sampled observers
+// retain. Full-firehose observers are unaffected.
+func (s *SpanSink) SetSampler(sm *Sampler) {
+	if s == nil {
+		return
+	}
+	s.sampler.Store(sm)
+}
+
+// Sampler returns the installed tail sampler, or nil when recording
+// everything.
+func (s *SpanSink) Sampler() *Sampler {
+	if s == nil {
+		return nil
+	}
+	return s.sampler.Load()
+}
+
+// SetDropCounter mirrors ring-buffer evictions into a registry counter so
+// silent span loss becomes visible on the metrics path.
+func (s *SpanSink) SetDropCounter(c *Counter) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.dropC = c
+	s.mu.Unlock()
+}
+
 // AttachFlightRecorder wires fr to observe every published span.
 func (s *SpanSink) AttachFlightRecorder(fr *FlightRecorder) {
 	if fr == nil {
@@ -157,6 +206,17 @@ func (s *SpanSink) Published() uint64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.total
+}
+
+// Retained returns how many published spans survived tail sampling (equal
+// to Published when no sampler is installed).
+func (s *SpanSink) Retained() uint64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.retained
 }
 
 // Dropped returns how many spans the ring evicted.
@@ -193,16 +253,32 @@ func (s *SpanSink) Emit(trace, parent uint64, kind string, start, end float64, a
 	return rec.ID
 }
 
-// publish appends a batch of finished records under one lock acquisition:
-// ring insertion, JSONL streaming, and the flight-recorder notification.
+// EmitBatch publishes a batch of already-finished records at once — the
+// whole-trace entry point for components that build complete traces on
+// their own clock (and for replay tooling). The batch flows through the
+// same sampling, ring, JSONL and observer path a root span's End uses.
+func (s *SpanSink) EmitBatch(recs []SpanRecord) {
+	if s == nil {
+		return
+	}
+	s.publish(recs)
+}
+
+// publish routes a batch of finished records: the tail sampler (when set)
+// decides retention first, then ring insertion and JSONL streaming of the
+// retained subset happen under one lock acquisition, then observers are
+// notified — full-firehose observers with the whole batch, sampled observers
+// with the retained subset.
 func (s *SpanSink) publish(recs []SpanRecord) {
 	if s == nil || len(recs) == 0 {
 		return
 	}
 	now := s.Now()
+	retained := s.sampler.Load().Retain(recs)
 	s.mu.Lock()
-	for _, rec := range recs {
-		s.total++
+	s.total += uint64(len(recs))
+	s.retained += uint64(len(retained))
+	for _, rec := range retained {
 		if s.size < len(s.buf) {
 			s.buf[(s.start+s.size)%len(s.buf)] = rec
 			s.size++
@@ -210,6 +286,7 @@ func (s *SpanSink) publish(recs []SpanRecord) {
 			s.buf[s.start] = rec
 			s.start = (s.start + 1) % len(s.buf)
 			s.dropped++
+			s.dropC.Inc()
 		}
 		if s.w != nil && s.werr == nil {
 			if b, err := json.Marshal(rec); err != nil {
@@ -223,11 +300,17 @@ func (s *SpanSink) publish(recs []SpanRecord) {
 		}
 	}
 	watchers := s.observers
+	sampledWatchers := s.sampled
 	s.mu.Unlock()
 	// Outside s.mu: observers take their own locks and may snapshot the sink
 	// again (lock order is always sink → observer, never nested).
 	for _, o := range watchers {
 		o.ObserveSpans(recs, now)
+	}
+	if len(retained) > 0 {
+		for _, o := range sampledWatchers {
+			o.ObserveSpans(retained, now)
+		}
 	}
 }
 

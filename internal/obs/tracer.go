@@ -30,6 +30,7 @@ type Tracer struct {
 	size    int
 	next    uint64 // next Seq
 	dropped uint64
+	dropC   *Counter // optional registry counter mirroring dropped
 }
 
 // NewTracer returns a tracer retaining up to capacity events (minimum 1).
@@ -58,6 +59,18 @@ func (t *Tracer) Emit(time float64, typ string, attrs map[string]any) {
 	t.buf[t.start] = e
 	t.start = (t.start + 1) % len(t.buf)
 	t.dropped++
+	t.dropC.Inc()
+}
+
+// SetDropCounter mirrors ring-buffer evictions into a registry counter so
+// silent event loss becomes visible on the metrics path.
+func (t *Tracer) SetDropCounter(c *Counter) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.dropC = c
+	t.mu.Unlock()
 }
 
 // Events returns the retained events, oldest first.

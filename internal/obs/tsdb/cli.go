@@ -1,0 +1,193 @@
+package tsdb
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"mvml/internal/health"
+	"mvml/internal/obs"
+)
+
+// CLI is the shared command-line wiring for the telemetry pipeline's store:
+// every serving binary registers the same -tsdb-* flag set, attaches the
+// store to its obs Runtime after obs.CLI.Start, and finishes it after the
+// run. Like the health CLI it is opt-in and rides the obs runtime — with
+// -tsdb off, Attach returns nil and nothing is collected.
+type CLI struct {
+	// Enable turns the store on.
+	Enable bool
+	// Bucket is the time-bucket width.
+	Bucket time.Duration
+	// Retention bounds per-series history (Retention/Bucket buckets).
+	Retention time.Duration
+	// Eval is the recording/alert rule evaluation cadence (span clock).
+	Eval time.Duration
+	// Scrape is the registry scrape cadence (wall clock); 0 disables the
+	// scrape path (span-derived series still collect).
+	Scrape time.Duration
+	// ReportPath receives the end-of-run store snapshot as JSON.
+	ReportPath string
+
+	store *Store
+	rules *Rules
+	ing   *Ingester
+	scr   *Scraper
+	now   func() float64
+	reg   *obs.Registry
+	stop  chan struct{}
+	wg    sync.WaitGroup
+}
+
+// RegisterFlags installs the tsdb flags on fs.
+func (c *CLI) RegisterFlags(fs *flag.FlagSet) {
+	fs.BoolVar(&c.Enable, "tsdb", false,
+		"collect windowed time-series (spans + registry scrapes) into the in-process store")
+	fs.DurationVar(&c.Bucket, "tsdb-bucket", time.Second,
+		"time-series store bucket width")
+	fs.DurationVar(&c.Retention, "tsdb-retention", 10*time.Minute,
+		"per-series retention horizon")
+	fs.DurationVar(&c.Eval, "tsdb-eval", time.Second,
+		"recording/alert rule evaluation interval (span clock)")
+	fs.DurationVar(&c.Scrape, "tsdb-scrape", 2*time.Second,
+		"metrics registry scrape interval (0 disables the scrape path)")
+	fs.StringVar(&c.ReportPath, "tsdb-report", "",
+		"write the end-of-run store snapshot (series, exemplars, alerts) here as JSON")
+}
+
+// Enabled reports whether the store is requested.
+func (c *CLI) Enabled() bool { return c.Enable || c.ReportPath != "" }
+
+// Attach builds the store, rule engine and span ingester on rt, deriving
+// alert thresholds from hopts, and starts the registry scrape loop. Returns
+// nil when disabled or when rt is nil (telemetry off).
+func (c *CLI) Attach(rt *obs.Runtime, hopts health.Options) *Store {
+	if !c.Enabled() || rt == nil {
+		return nil
+	}
+	if c.Bucket <= 0 {
+		c.Bucket = time.Second
+	}
+	if c.Retention < c.Bucket {
+		c.Retention = 10 * time.Minute
+	}
+	c.store = New(Config{
+		BucketSeconds: c.Bucket.Seconds(),
+		Buckets:       int(c.Retention / c.Bucket),
+	})
+	c.reg = rt.Metrics()
+	c.store.Register(c.reg)
+	c.rules = NewRules(c.store, c.Eval.Seconds(), DefaultServingRules(hopts))
+	c.rules.Register(c.reg)
+	c.ing = NewIngester(c.store, c.rules)
+	// Post-sampling attachment: the store aggregates exactly the spans the
+	// JSONL export retains, so an offline replay reproduces it.
+	rt.Spans().AttachSampled(c.ing)
+	c.now = rt.Spans().Now
+	if c.Scrape > 0 {
+		c.scr = NewScraper(c.store)
+		c.stop = make(chan struct{})
+		c.wg.Add(1)
+		go c.scrapeLoop()
+	}
+	return c.store
+}
+
+// scrapeLoop scrapes the registry on the wall clock until Finish.
+func (c *CLI) scrapeLoop() {
+	defer c.wg.Done()
+	t := time.NewTicker(c.Scrape)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+			_ = c.scr.ScrapeRegistry(c.reg, c.now())
+		}
+	}
+}
+
+// Observe subscribes e to alert transitions: a firing alert bumps the
+// engine's matching component, a resolving one lets it recover.
+func (c *CLI) Observe(e *health.Engine) {
+	if c.rules == nil || e == nil {
+		return
+	}
+	c.rules.AddSink(e)
+}
+
+// Store returns the attached store (nil when disabled).
+func (c *CLI) Store() *Store { return c.store }
+
+// Rules returns the attached rule engine (nil when disabled).
+func (c *CLI) Rules() *Rules { return c.rules }
+
+// P99Source returns a closure reading the p99 recording rule — the gateway
+// autoscaler's latency signal. Returns nil when the store is disabled, and
+// the closure returns 0 until the rule has a value (callers fall back to
+// their own measurement).
+func (c *CLI) P99Source() func() time.Duration {
+	if c.store == nil {
+		return nil
+	}
+	store := c.store
+	return func() time.Duration {
+		v, ok := store.LastValue(RuleP99Latency)
+		if !ok || v <= 0 {
+			return 0
+		}
+		return time.Duration(v * float64(time.Second))
+	}
+}
+
+// Report is the end-of-run JSON artifact: the full store snapshot plus the
+// alert states (mvdash renders the same structure).
+type Report struct {
+	BucketSeconds float64       `json:"bucket_seconds"`
+	Series        []SeriesView  `json:"series"`
+	Alerts        []AlertStatus `json:"alerts,omitempty"`
+}
+
+// BuildReport snapshots the store and rule engine.
+func BuildReport(s *Store, r *Rules) *Report {
+	if s == nil {
+		return nil
+	}
+	return &Report{BucketSeconds: s.BucketSeconds(), Series: s.Snapshot(), Alerts: r.Alerts()}
+}
+
+// Finish stops the scrape loop (after one final scrape, so short runs still
+// land in the store) and writes the report artifact.
+func (c *CLI) Finish() error {
+	if c.store == nil {
+		return nil
+	}
+	if c.stop != nil {
+		close(c.stop)
+		c.wg.Wait()
+		c.stop = nil
+		_ = c.scr.ScrapeRegistry(c.reg, c.now())
+	}
+	if c.ReportPath == "" {
+		return nil
+	}
+	f, err := os.Create(c.ReportPath)
+	if err != nil {
+		return fmt.Errorf("tsdb: report: %w", err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	err = enc.Encode(BuildReport(c.store, c.rules))
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("tsdb: report: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "tsdb: wrote store snapshot to %s\n", c.ReportPath)
+	return nil
+}

@@ -1,0 +1,199 @@
+package tsdb
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"mvml/internal/health"
+	"mvml/internal/obs"
+)
+
+func TestIngesterAggregatesSpanStream(t *testing.T) {
+	s := New(Config{BucketSeconds: 1, Buckets: 120})
+	ing := NewIngester(s, nil)
+	Replay(demoSpans(), ing)
+
+	horizon := ing.MaxT() + 1
+	reqA := s.SumOver(SeriesRequests, 0, horizon, "kind", "request", "shard", "shard-a")
+	reqB := s.SumOver(SeriesRequests, 0, horizon, "kind", "request", "shard", "shard-b")
+	if reqA+reqB != 119 { // 120 traces minus the rejuvenation
+		t.Fatalf("requests a+b = %v+%v, want 119", reqA, reqB)
+	}
+	if errs := s.FamilySumOver(SeriesErrors, 0, horizon); errs == 0 {
+		t.Fatal("no errors ingested")
+	}
+	if lc := s.SumOver(SeriesLifecycle, 0, horizon, "kind", "rejuvenation"); lc != 1 {
+		t.Fatalf("lifecycle rejuvenations = %v, want 1", lc)
+	}
+	if _, ok := s.QuantileOver(SeriesStage, 0, horizon, 0.5, "kind", "forward", "shard", "shard-a", "version", "v0"); !ok {
+		t.Fatal("no per-version forward latency series")
+	}
+	if v, ok := s.LastValue(SeriesQueue, "shard", "shard-a"); !ok || v < 0 {
+		t.Fatalf("queue depth = %v,%v", v, ok)
+	}
+	// Root request latency histograms carry trace exemplars.
+	if ex := s.Exemplars(SeriesStage, "kind", "request", "shard", "shard-a"); len(ex) == 0 {
+		t.Fatal("no exemplars on request latency")
+	}
+	// A slow trace's exemplar resolves near the tail.
+	if e, ok := s.ExemplarNear(SeriesStage, 0.5, "kind", "request", "shard", "shard-a"); !ok || e.Trace == 0 {
+		t.Fatalf("tail exemplar = %+v,%v", e, ok)
+	}
+}
+
+// TestLiveEqualsReplay drives a real sink (sampler installed, ingester
+// attached post-sampling, JSONL export on) and then replays the export into
+// a second store: content and rule/alert state must match exactly.
+func TestLiveEqualsReplay(t *testing.T) {
+	var jsonl bytes.Buffer
+	sink := obs.NewSpanSink(4096)
+	sink.SetWriter(&jsonl)
+	sink.SetSampler(obs.NewSampler(obs.SampleConfig{Rate: 0.2, Seed: 9}))
+
+	live := New(Config{BucketSeconds: 1, Buckets: 120})
+	liveRules := NewRules(live, 1, DefaultServingRules(healthDefaults()))
+	liveIng := NewIngester(live, liveRules)
+	sink.AttachSampled(liveIng)
+
+	for i := 0; i < 120; i++ {
+		sink.EmitBatch(buildTrace(i))
+	}
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, err := obs.ReadSpans(bytes.NewReader(jsonl.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 || uint64(len(recs)) != sink.Retained() {
+		t.Fatalf("export holds %d records, sink retained %d", len(recs), sink.Retained())
+	}
+
+	replay := New(Config{BucketSeconds: 1, Buckets: 120})
+	replayRules := NewRules(replay, 1, DefaultServingRules(healthDefaults()))
+	Replay(recs, NewIngester(replay, replayRules))
+
+	var a, b bytes.Buffer
+	if err := live.WritePrometheus(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := replay.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("live store != replay store\n--- live ---\n%s\n--- replay ---\n%s", a.String(), b.String())
+	}
+	if !reflect.DeepEqual(liveRules.Alerts(), replayRules.Alerts()) {
+		t.Fatalf("alert state diverged: live %+v replay %+v", liveRules.Alerts(), replayRules.Alerts())
+	}
+	ja, _ := json.Marshal(BuildReport(live, liveRules))
+	jb, _ := json.Marshal(BuildReport(replay, replayRules))
+	if !bytes.Equal(ja, jb) {
+		t.Fatal("JSON reports diverged between live and replay")
+	}
+}
+
+// TestSamplingKeepsEveryIncidentAndSlowTrace checks the acceptance bar: at
+// a 10% normal-traffic rate, every error, degraded, slow and lifecycle
+// trace survives sampling, and their exemplar links resolve.
+func TestSamplingKeepsEveryIncidentAndSlowTrace(t *testing.T) {
+	var jsonl bytes.Buffer
+	sink := obs.NewSpanSink(8192)
+	sink.SetWriter(&jsonl)
+	sink.SetSampler(obs.NewSampler(obs.SampleConfig{Rate: 0.1, Seed: 1}))
+	store := New(Config{BucketSeconds: 1, Buckets: 120})
+	ing := NewIngester(store, nil)
+	sink.AttachSampled(ing)
+
+	for i := 0; i < 120; i++ {
+		sink.EmitBatch(buildTrace(i))
+	}
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := obs.ReadSpans(bytes.NewReader(jsonl.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	retained := map[uint64]bool{}
+	for _, r := range recs {
+		retained[r.Trace] = true
+	}
+	for i := 0; i < 120; i++ {
+		dur, errAttr, kind := traceSpec(i)
+		mustKeep := errAttr || kind != "request" || dur >= obs.DefaultSlowSeconds || i%13 == 2
+		if mustKeep && !retained[uint64(1+i)] {
+			t.Fatalf("trace %d (dur=%v err=%v kind=%s) sampled out", 1+i, dur, errAttr, kind)
+		}
+	}
+	// Exemplar link works: a tail exemplar resolves to a retained trace.
+	for _, shard := range []string{"shard-a", "shard-b"} {
+		e, ok := store.ExemplarNear(SeriesStage, 0.5, "kind", "request", "shard", shard)
+		if !ok || !retained[e.Trace] {
+			t.Fatalf("%s: tail exemplar %+v not retained", shard, e)
+		}
+	}
+}
+
+func TestRulesAlertLifecycleFeedsHealthEngine(t *testing.T) {
+	s := New(Config{BucketSeconds: 1, Buckets: 600})
+	rules := NewRules(s, 1, DefaultServingRules(healthDefaults()))
+	reg := obs.NewRegistry()
+	rules.Register(reg)
+	eng := health.NewEngine(health.Options{}, reg)
+	rules.AddSink(eng)
+
+	// Healthy traffic for 40s, then a 20s error storm, then recovery.
+	emit := func(t0 float64, n int, errRate float64) {
+		for i := 0; i < n; i++ {
+			ts := t0 + float64(i)*0.01
+			s.Add(SeriesRequests, ts, 1, "kind", "request", "shard", "a")
+			s.Observe(SeriesStage, ts, 0.01, "kind", "request", "shard", "a")
+			if errRate > 0 && float64(i%100) < errRate*100 {
+				s.Add(SeriesErrors, ts, 1, "kind", "request", "shard", "a")
+			}
+		}
+	}
+	for sec := 0; sec < 40; sec++ {
+		emit(float64(sec), 50, 0)
+		rules.Advance(float64(sec + 1))
+	}
+	if g := reg.Gauge(MetricAlertFiring, "alert", AlertHighErrorRate).Value(); g != 0 {
+		t.Fatalf("error alert firing during healthy traffic")
+	}
+	for sec := 40; sec < 60; sec++ {
+		emit(float64(sec), 50, 0.5)
+		rules.Advance(float64(sec + 1))
+	}
+	alerts := rules.Alerts()
+	var errAlert *AlertStatus
+	for i := range alerts {
+		if alerts[i].Name == AlertHighErrorRate {
+			errAlert = &alerts[i]
+		}
+	}
+	if errAlert == nil || !errAlert.Firing {
+		t.Fatalf("error alert not firing after storm: %+v", alerts)
+	}
+	if g := reg.Gauge(MetricAlertFiring, "alert", AlertHighErrorRate).Value(); g != 1 {
+		t.Fatal("mv_tsdb_alert_firing gauge not set")
+	}
+	if lvl := eng.Level("alert:" + AlertHighErrorRate); lvl != health.Critical {
+		t.Fatalf("health component level = %v, want Critical", lvl)
+	}
+	// Recovery: clean traffic long enough to drain the 30s window.
+	for sec := 60; sec < 100; sec++ {
+		emit(float64(sec), 50, 0)
+		rules.Advance(float64(sec + 1))
+	}
+	if lvl := eng.Level("alert:" + AlertHighErrorRate); lvl != health.Healthy {
+		t.Fatalf("health component did not recover: %v", lvl)
+	}
+	// The p99 recording rule has a value (autoscaler signal path).
+	if v, ok := s.LastValue(RuleP99Latency); !ok || v <= 0 {
+		t.Fatalf("p99 recording rule = %v,%v", v, ok)
+	}
+}

@@ -1,0 +1,107 @@
+package tsdb
+
+import (
+	"strings"
+	"testing"
+
+	"mvml/internal/obs"
+)
+
+func TestParseTextLabelsAndTypes(t *testing.T) {
+	in := `# HELP mv_req_total requests
+# TYPE mv_req_total counter
+mv_req_total{shard="a",msg="he said \"hi\""} 42
+mv_req_total{shard="b"} 7
+# TYPE mv_depth gauge
+mv_depth 3.5
+# TYPE mv_lat_seconds histogram
+mv_lat_seconds_bucket{le="0.1"} 9
+mv_lat_seconds_bucket{le="+Inf"} 10
+mv_lat_seconds_sum 1.25
+mv_lat_seconds_count 10
+`
+	parsed, err := ParseText(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Types["mv_req_total"] != "counter" || parsed.Types["mv_lat_seconds"] != "histogram" {
+		t.Fatalf("types = %v", parsed.Types)
+	}
+	if len(parsed.Samples) != 7 {
+		t.Fatalf("samples = %d, want 7", len(parsed.Samples))
+	}
+	first := parsed.Samples[0]
+	if first.Value != 42 {
+		t.Fatalf("first sample = %+v", first)
+	}
+	got := canonKV(first.Labels)
+	if !strings.Contains(got, `msg="he said \"hi\""`) || !strings.Contains(got, `shard="a"`) {
+		t.Fatalf("escaped labels mangled: %s", got)
+	}
+}
+
+func TestScraperCounterDeltasAndResets(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := New(Config{BucketSeconds: 1, Buckets: 60})
+	sc := NewScraper(s)
+	c := reg.Counter("mv_demo_total", "shard", "a")
+	g := reg.Gauge("mv_demo_depth")
+	h := reg.Histogram("mv_demo_latency_seconds", obs.DefBuckets())
+
+	c.Add(10)
+	g.Set(4)
+	h.Observe(0.05)
+	if err := sc.ScrapeRegistry(reg, 1); err != nil {
+		t.Fatal(err)
+	}
+	// First sight of a counter establishes the baseline: nothing recorded.
+	if got := s.SumOver("mv_demo_total", 0, 10, "shard", "a"); got != 0 {
+		t.Fatalf("baseline scrape recorded %v, want 0", got)
+	}
+	// Gauges land immediately.
+	if v, ok := s.LastValue("mv_demo_depth"); !ok || v != 4 {
+		t.Fatalf("gauge = %v,%v", v, ok)
+	}
+
+	c.Add(5)
+	h.Observe(0.2)
+	if err := sc.ScrapeRegistry(reg, 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.SumOver("mv_demo_total", 0, 10, "shard", "a"); got != 5 {
+		t.Fatalf("delta = %v, want 5", got)
+	}
+	// Histogram component series accumulate like counters.
+	if got := s.SumOver("mv_demo_latency_seconds_count", 0, 10); got != 1 {
+		t.Fatalf("hist count delta = %v, want 1", got)
+	}
+
+	// Counter reset (fresh registry, lower value): counted from zero.
+	reg2 := obs.NewRegistry()
+	reg2.Counter("mv_demo_total", "shard", "a").Add(3)
+	if err := sc.ScrapeRegistry(reg2, 3); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.SumOver("mv_demo_total", 0, 10, "shard", "a"); got != 8 {
+		t.Fatalf("post-reset sum = %v, want 8", got)
+	}
+}
+
+func TestScraperSkipsSelfMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := New(Config{BucketSeconds: 1, Buckets: 60})
+	s.Register(reg)
+	s.Add("mv_demo_total", 0.5, 1) // makes mv_tsdb_samples_total nonzero
+	sc := NewScraper(s)
+	if err := sc.ScrapeRegistry(reg, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.ScrapeRegistry(reg, 2); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range s.SeriesNames() {
+		if strings.HasPrefix(name, "mv_tsdb_") {
+			t.Fatalf("self-metric %s scraped into the store", name)
+		}
+	}
+}
